@@ -1,0 +1,254 @@
+package faassched
+
+// Benchmark harness: one testing.B benchmark per figure/table in the
+// paper's evaluation (DESIGN.md §3 maps ids to figures), plus
+// micro-benchmarks for the scheduling substrate. The figure benchmarks run
+// the same code paths as `faasbench`, at quick scale so `go test -bench=.`
+// terminates in minutes; `faasbench -scale full` regenerates the
+// paper-sized results.
+//
+// Figure benchmarks report, beyond ns/op, the headline quantity of their
+// figure via b.ReportMetric (cost ratios, p99 seconds, KS distances).
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/experiments"
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/policy/cfs"
+	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns a shared quick-scale environment (workload construction is
+// cached inside).
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.ScaleQuick)
+		// Warm the workload caches outside timed sections.
+		if _, err := benchEnv.W2(); err != nil {
+			panic(err)
+		}
+		if _, err := benchEnv.W10(); err != nil {
+			panic(err)
+		}
+	})
+	return benchEnv
+}
+
+// runFigure executes one experiment per iteration and reports extracted
+// metrics from the final run.
+func runFigure(b *testing.B, id string, report func(b *testing.B, fig *experiments.Figure)) {
+	b.Helper()
+	e := env(b)
+	var fig *experiments.Figure
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Run(e, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if report != nil {
+		report(b, fig)
+	}
+}
+
+// cell parses a float cell from the first row matching key in column 0.
+func cell(b *testing.B, fig *experiments.Figure, key string, col int) float64 {
+	b.Helper()
+	for _, row := range fig.Rows {
+		if row[0] == key {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				b.Fatalf("bad cell %q: %v", row[col], err)
+			}
+			return v
+		}
+	}
+	b.Fatalf("row %q not found", key)
+	return 0
+}
+
+func BenchmarkFig01Cost(b *testing.B) {
+	runFigure(b, "fig1", func(b *testing.B, fig *experiments.Figure) {
+		b.ReportMetric(cell(b, fig, "1024", 3), "cfs/fifo_cost_ratio")
+	})
+}
+
+func BenchmarkFig02Trace(b *testing.B)       { runFigure(b, "fig2", nil) }
+func BenchmarkFig04FIFOvsCFS(b *testing.B)   { runFigure(b, "fig4", nil) }
+func BenchmarkFig05Preemption(b *testing.B)  { runFigure(b, "fig5", nil) }
+func BenchmarkFig06Hybrid(b *testing.B)      { runFigure(b, "fig6", nil) }
+func BenchmarkFig10Sampling(b *testing.B)    { runFigure(b, "fig10", nil) }
+func BenchmarkFig11CoreSplit(b *testing.B)   { runFigure(b, "fig11", nil) }
+func BenchmarkFig12HybridVsCFS(b *testing.B) { runFigure(b, "fig12", nil) }
+
+func BenchmarkFig13Preemptions(b *testing.B) {
+	runFigure(b, "fig13", func(b *testing.B, fig *experiments.Figure) {
+		// Total preemptions per scheduler from the long-format rows.
+		totals := map[string]float64{}
+		for _, row := range fig.Rows {
+			v, _ := strconv.ParseFloat(row[2], 64)
+			totals[row[0]] += v
+		}
+		if totals["hybrid"] > 0 {
+			b.ReportMetric(totals["cfs"]/totals["hybrid"], "cfs/hybrid_preemptions")
+		}
+	})
+}
+
+func BenchmarkFig14Utilization(b *testing.B)   { runFigure(b, "fig14", nil) }
+func BenchmarkFig15TimeLimits(b *testing.B)    { runFigure(b, "fig15", nil) }
+func BenchmarkFig16AdaptP75(b *testing.B)      { runFigure(b, "fig16", nil) }
+func BenchmarkFig17AdaptP95(b *testing.B)      { runFigure(b, "fig17", nil) }
+func BenchmarkFig18Rightsizing(b *testing.B)   { runFigure(b, "fig18", nil) }
+func BenchmarkFig19RightsizeUtil(b *testing.B) { runFigure(b, "fig19", nil) }
+func BenchmarkFig21Firecracker(b *testing.B)   { runFigure(b, "fig21", nil) }
+
+func BenchmarkFig20Cost(b *testing.B) {
+	runFigure(b, "fig20", func(b *testing.B, fig *experiments.Figure) {
+		h := cell(b, fig, "1024", 1)
+		c := cell(b, fig, "1024", 3)
+		if h > 0 {
+			b.ReportMetric(c/h, "cfs/hybrid_cost_ratio")
+		}
+	})
+}
+
+func BenchmarkFig22FirecrackerCost(b *testing.B) {
+	runFigure(b, "fig22", func(b *testing.B, fig *experiments.Figure) {
+		b.ReportMetric(cell(b, fig, "1024", 3), "hybrid_saving_pct")
+	})
+}
+
+func BenchmarkFig23Scatter(b *testing.B) { runFigure(b, "fig23", nil) }
+
+// Ablations and extensions beyond the paper (DESIGN.md §4 design choices
+// and the §VII-4 future-work feature).
+func BenchmarkAblationSwitchCost(b *testing.B)   { runFigure(b, "ablation-switchcost", nil) }
+func BenchmarkAblationCachePenalty(b *testing.B) { runFigure(b, "ablation-cachepenalty", nil) }
+func BenchmarkAblationMinGran(b *testing.B)      { runFigure(b, "ablation-mingran", nil) }
+func BenchmarkAblationMsgLatency(b *testing.B)   { runFigure(b, "ablation-msglatency", nil) }
+func BenchmarkTable1Interference(b *testing.B)   { runFigure(b, "table1i", nil) }
+func BenchmarkExtVMThreads(b *testing.B)         { runFigure(b, "ext-vmthreads", nil) }
+
+func BenchmarkTable1Summary(b *testing.B) {
+	runFigure(b, "table1", func(b *testing.B, fig *experiments.Figure) {
+		b.ReportMetric(cell(b, fig, "p99_execution_s", 2), "cfs_p99_exec_s")
+		b.ReportMetric(cell(b, fig, "p99_execution_s", 3), "ours_p99_exec_s")
+	})
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkKernelDispatch measures raw place/preempt mechanism cost.
+func BenchmarkKernelDispatch(b *testing.B) {
+	k, err := simkern.New(simkern.Config{Cores: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type noopHandler struct{ simkern.Handler }
+	k.SetHandler(handlerFuncs{})
+	task := &simkern.Task{ID: 1, Work: time.Hour}
+	if err := k.AddTask(task); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.Run(time.Nanosecond); err != nil {
+		b.Fatal(err)
+	}
+	_ = noopHandler{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.RunTask(0, task); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Preempt(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type handlerFuncs struct{}
+
+func (handlerFuncs) OnTaskArrived(*simkern.Task)                  {}
+func (handlerFuncs) OnTaskFinished(*simkern.Task, simkern.CoreID) {}
+
+// BenchmarkCFSSimulation measures end-to-end simulation throughput of the
+// heaviest policy: events per wall second for a 500-task CFS run.
+func BenchmarkCFSSimulation(b *testing.B) {
+	e := env(b)
+	invs, err := e.W2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	invs = workload.Sample(invs, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := simkern.New(simkern.DefaultConfig(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ghost.NewEnclave(k, cfs.New(cfs.Params{}), ghost.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range workload.Tasks(invs) {
+			if err := k.AddTask(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n, err := k.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "events/run")
+	}
+}
+
+// BenchmarkWorkloadBuild measures the §V-B pipeline.
+func BenchmarkWorkloadBuild(b *testing.B) {
+	e := env(b)
+	tr, err := e.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		invs, err := workload.Builder{}.Build(tr, 0, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(invs) == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+// BenchmarkFacadeSimulate measures the public API end to end.
+func BenchmarkFacadeSimulate(b *testing.B) {
+	invs, err := BuildWorkload(WorkloadSpec{Minutes: 1, MaxInvocations: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sched := range []Scheduler{SchedulerFIFO, SchedulerCFS, SchedulerHybrid} {
+		b.Run(strings.ReplaceAll(string(sched), "/", "_"), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(Options{Cores: 4, Scheduler: sched}, invs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Command faasbench regenerates the paper's evaluation: every measurement
+// figure and table (see DESIGN.md §3 for the index). Results are printed
+// as aligned tables and optionally written as CSV files for plotting.
+//
+// Usage:
+//
+//	faasbench -experiment all -scale quick
+//	faasbench -experiment fig11,table1 -scale full -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/faassched/faassched/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faasbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids, or 'all' (see -list)")
+		scaleFlag  = flag.String("scale", "quick", "experiment scale: quick|full")
+		out        = flag.String("out", "", "directory to write per-experiment CSV files (optional)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quiet      = flag.Bool("q", false, "suppress table output (still writes CSVs)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	env := experiments.NewEnv(scale)
+	fmt.Printf("# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments.Run(env, strings.TrimSpace(id))
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if !*quiet {
+			fmt.Println()
+			fmt.Print(fig.Text())
+		}
+		fmt.Printf("# %s done in %s (%d rows)\n", fig.ID, time.Since(start).Round(time.Millisecond), len(fig.Rows))
+		if *out != "" {
+			path := filepath.Join(*out, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command hybridsim runs one scheduler over one workload and prints the
+// paper's metrics — the interactive counterpart to faasbench.
+//
+// Usage:
+//
+//	hybridsim -sched hybrid -cores 16 -minutes 2 -n 2000
+//	hybridsim -sched cfs -firecracker
+//	hybridsim -sched fifo -workload w.csv       # replay a workload file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/faassched/faassched"
+	"github.com/faassched/faassched/internal/fib"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sched       = flag.String("sched", "hybrid", fmt.Sprintf("scheduler %v", faassched.Schedulers()))
+		cores       = flag.Int("cores", 8, "enclave core count")
+		minutes     = flag.Int("minutes", 2, "trace minutes to replay (synthetic workload)")
+		n           = flag.Int("n", 0, "stride-sample the workload to ~n invocations (0 = all)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		limit       = flag.Duration("limit", 0, "hybrid static time limit (default 1.633s)")
+		fifoCores   = flag.Int("fifo-cores", 0, "hybrid FIFO group size (default half)")
+		firecracker = flag.Bool("firecracker", false, "run invocations in simulated microVMs")
+		memMB       = flag.Int("server-mem-mb", 0, "server memory budget in Firecracker mode")
+		file        = flag.String("workload", "", "replay a workload file instead of synthesizing")
+	)
+	flag.Parse()
+
+	var invs []faassched.Invocation
+	var err error
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		invs, err = workload.Read(f, fib.DurationModel{})
+		if err != nil {
+			return err
+		}
+	} else {
+		invs, err = faassched.BuildWorkload(faassched.WorkloadSpec{
+			Seed:           *seed,
+			Minutes:        *minutes,
+			MaxInvocations: *n,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("workload: %d invocations spanning %s, total demand %s\n",
+		len(invs), invs[len(invs)-1].Arrival.Round(time.Second), workload.TotalWork(invs).Round(time.Second))
+
+	start := time.Now()
+	res, err := faassched.Simulate(faassched.Options{
+		Cores:       *cores,
+		Scheduler:   faassched.Scheduler(*sched),
+		FIFOCores:   *fifoCores,
+		TimeLimit:   *limit,
+		Firecracker: *firecracker,
+		ServerMemMB: *memMB,
+	}, invs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated in %s\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(res.Summary())
+	for _, m := range []faassched.Metric{faassched.Execution, faassched.Response, faassched.Turnaround} {
+		c, err := res.CDF(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s p50=%8.1fms p90=%8.1fms p99=%8.1fms max=%8.1fms\n",
+			m, c.Quantile(0.5), c.Quantile(0.9), c.Quantile(0.99), c.Max())
+	}
+	if *firecracker {
+		fmt.Printf("microVMs: %d launched, %d failed\n", res.LaunchedVMs, res.FailedVMs)
+	}
+	fmt.Printf("cost at uniform 1GB: $%.6f\n", res.CostAtUniformMemoryUSD(1024))
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command tracegen synthesizes Azure-calibrated traces, derives workload
+// files through the paper's §V-B pipeline, and prints trace statistics.
+//
+// Usage:
+//
+//	tracegen -minutes 2 -o workload.csv
+//	tracegen -stats            # print trace characterization (Fig 2 data)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/faassched/faassched/internal/trace"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Int64("seed", 1, "generator seed")
+		minutes   = flag.Int("minutes", 2, "workload window length in minutes")
+		tot       = flag.Int("trace-minutes", 10, "synthesized trace length in minutes")
+		out       = flag.String("o", "", "workload file to write (default stdout)")
+		stats     = flag.Bool("stats", false, "print trace statistics instead of a workload file")
+		saveTrace = flag.String("save-trace", "", "also write the raw function table as CSV")
+		loadTrace = flag.String("load-trace", "", "load a function-table CSV instead of synthesizing (e.g. a real production trace)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	if *loadTrace != "" {
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		tr, rerr = trace.ReadCSV(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	} else {
+		cfg := trace.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Minutes = *tot
+		var gerr error
+		tr, gerr = trace.Generate(cfg)
+		if gerr != nil {
+			return gerr
+		}
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *stats {
+		cdf, err := tr.DurationCDF(1 << 20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("functions: %d (%d valid after cleaning)\n", len(tr.Rows), len(tr.CleanRows()))
+		fmt.Printf("invocations: %d over %d minutes\n", tr.TotalInvocations(), tr.Minutes)
+		fmt.Printf("durations: %s\n", cdf.Describe())
+		fmt.Printf("P(duration < 1s) = %.3f (paper cites ~80%%)\n", cdf.At(1000))
+		fmt.Println("arrivals per minute:")
+		for m, c := range tr.ArrivalSeries() {
+			fmt.Printf("  minute %2d: %d\n", m, c)
+		}
+		return nil
+	}
+
+	invs, err := workload.Builder{}.Build(tr, 0, *minutes)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.Write(w, invs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d invocations (total demand %s)\n",
+		len(invs), workload.TotalWork(invs))
+	return nil
+}

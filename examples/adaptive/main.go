@@ -1,0 +1,60 @@
+// Adaptive mechanisms: compare the static hybrid against the full system
+// with dynamic preemption time limits (p95 of the last 100 task
+// durations) and CPU-group rightsizing — the paper's §IV-B provider-side
+// machinery, exercised through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/faassched/faassched"
+)
+
+func main() {
+	invs, err := faassched.BuildWorkload(faassched.WorkloadSpec{
+		Minutes:        4,
+		MaxInvocations: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d invocations over ~4 minutes\n\n", len(invs))
+
+	static, err := faassched.Simulate(faassched.Options{
+		Cores:     8,
+		Scheduler: faassched.SchedulerHybrid,
+	}, invs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dynamic, err := faassched.Simulate(faassched.Options{
+		Cores:     8,
+		Scheduler: faassched.SchedulerHybridDyn,
+	}, invs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, r *faassched.Result) {
+		exec, err := r.CDF(faassched.Execution)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := r.CDF(faassched.Response)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s exec p99=%9.1fms resp p99=%9.1fms makespan=%-10s cost=$%.6f\n",
+			name, exec.Quantile(0.99), resp.Quantile(0.99), r.Makespan.Round(1e9), r.CostUSD())
+	}
+	report("hybrid (static 1633ms)", static)
+	report("hybrid+dyn (p95, RS)", dynamic)
+
+	fmt.Println("\nThe dynamic variant re-derives the FIFO preemption limit from the")
+	fmt.Println("recent-100-durations window (p95, per the paper's best Fig 15")
+	fmt.Println("setting) and migrates cores between the FIFO and CFS groups when")
+	fmt.Println("their windowed utilizations diverge, keeping both groups busy.")
+	fmt.Println("Run `faasbench -experiment fig16,fig17,fig19` for the full")
+	fmt.Println("utilization and time-limit timelines.")
+}

@@ -1,0 +1,58 @@
+// Cost analysis: reproduce the paper's Figs 1 and 20 through the public
+// API — what the same workload costs under each scheduler at every AWS
+// Lambda memory size, and what the provider's scheduler choice does to
+// the customer's bill.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/faassched/faassched"
+)
+
+var memorySizesMB = []int{128, 512, 1024, 2048, 4096, 10240}
+
+func main() {
+	invs, err := faassched.BuildWorkload(faassched.WorkloadSpec{
+		Minutes:        2,
+		MaxInvocations: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedulers := []faassched.Scheduler{
+		faassched.SchedulerFIFO,
+		faassched.SchedulerCFS,
+		faassched.SchedulerHybrid,
+	}
+	results := map[faassched.Scheduler]*faassched.Result{}
+	for _, s := range schedulers {
+		res, err := faassched.Simulate(faassched.Options{Cores: 8, Scheduler: s}, invs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[s] = res
+	}
+
+	fmt.Printf("%-8s", "mem_mb")
+	for _, s := range schedulers {
+		fmt.Printf("%14s", s)
+	}
+	fmt.Printf("%12s\n", "cfs/hybrid")
+	for _, mem := range memorySizesMB {
+		fmt.Printf("%-8d", mem)
+		for _, s := range schedulers {
+			fmt.Printf("%14.6f", results[s].CostAtUniformMemoryUSD(mem))
+		}
+		ratio := results[faassched.SchedulerCFS].CostAtUniformMemoryUSD(mem) /
+			results[faassched.SchedulerHybrid].CostAtUniformMemoryUSD(mem)
+		fmt.Printf("%11.1fx\n", ratio)
+	}
+
+	fmt.Println("\nBilling is wall-clock execution time x a per-ms price proportional")
+	fmt.Println("to memory size. Because CFS stretches execution times under high")
+	fmt.Println("concurrency, the same workload costs a multiple under CFS at every")
+	fmt.Println("memory size (the paper measures >10x).")
+}

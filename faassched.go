@@ -1,0 +1,299 @@
+// Package faassched is the public facade of the hybrid-scheduler
+// reproduction: simulate serverless (FaaS) workloads under different OS
+// scheduling policies — the Linux-default CFS, FIFO variants, EDF,
+// Round-Robin, Shinjuku-style centralized preemption, and the paper's
+// hybrid two-group FIFO+CFS scheduler — and measure what each policy does
+// to execution time, response time, turnaround time, and dollar cost
+// under AWS-Lambda-style per-millisecond billing.
+//
+// Quickstart:
+//
+//	spec := faassched.WorkloadSpec{Minutes: 2}
+//	invs, err := faassched.BuildWorkload(spec)
+//	...
+//	result, err := faassched.Simulate(faassched.Options{
+//		Cores:     8,
+//		Scheduler: faassched.SchedulerHybrid,
+//	}, invs)
+//	fmt.Println(result.Summary())
+//
+// The underlying layers (the discrete-event kernel, the ghOSt-style
+// delegation enclave, the individual policies, the trace synthesizer, the
+// experiment harness for every figure/table in the paper) live under
+// internal/; see DESIGN.md for the map.
+package faassched
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/core"
+	"github.com/faassched/faassched/internal/fib"
+	"github.com/faassched/faassched/internal/firecracker"
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/policy/cfs"
+	"github.com/faassched/faassched/internal/policy/edf"
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/rr"
+	"github.com/faassched/faassched/internal/policy/shinjuku"
+	"github.com/faassched/faassched/internal/pricing"
+	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/stats"
+	"github.com/faassched/faassched/internal/trace"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// Scheduler selects a scheduling policy.
+type Scheduler string
+
+// Available schedulers.
+const (
+	SchedulerFIFO      Scheduler = "fifo"       // centralized run-to-completion
+	SchedulerFIFO100   Scheduler = "fifo+100ms" // FIFO with 100 ms preemption
+	SchedulerCFS       Scheduler = "cfs"        // Linux-default Completely Fair Scheduler model
+	SchedulerRR        Scheduler = "rr"         // Round-Robin
+	SchedulerEDF       Scheduler = "edf"        // Earliest Deadline First
+	SchedulerShinjuku  Scheduler = "shinjuku"   // centralized fast preemption
+	SchedulerHybrid    Scheduler = "hybrid"     // the paper's two-group FIFO+CFS scheduler
+	SchedulerHybridDyn Scheduler = "hybrid+dyn" // hybrid with adaptive limit (p95) and rightsizing
+)
+
+// Schedulers lists every selectable scheduler.
+func Schedulers() []Scheduler {
+	return []Scheduler{
+		SchedulerFIFO, SchedulerFIFO100, SchedulerCFS, SchedulerRR,
+		SchedulerEDF, SchedulerShinjuku, SchedulerHybrid, SchedulerHybridDyn,
+	}
+}
+
+// Invocation re-exports the workload invocation type.
+type Invocation = workload.Invocation
+
+// WorkloadSpec configures synthetic workload construction: an
+// Azure-calibrated trace is synthesized and pushed through the paper's
+// §V-B pipeline (clean → Fibonacci bucketing → ×100 downscale → evenly
+// spaced arrivals).
+type WorkloadSpec struct {
+	// Seed makes the workload reproducible. Zero means 1.
+	Seed int64
+	// Minutes of trace to replay (1..10). Zero means 2 (the paper's main
+	// workload window).
+	Minutes int
+	// MaxInvocations optionally stride-samples the result down to ~this
+	// many invocations, preserving distribution and arrival span.
+	MaxInvocations int
+}
+
+// BuildWorkload synthesizes a workload from spec.
+func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Minutes == 0 {
+		spec.Minutes = 2
+	}
+	if spec.Minutes < 1 || spec.Minutes > 10 {
+		return nil, fmt.Errorf("faassched: Minutes %d out of [1,10]", spec.Minutes)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Seed = spec.Seed
+	cfg.Minutes = 10
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	invs, err := workload.Builder{}.Build(tr, 0, spec.Minutes)
+	if err != nil {
+		return nil, err
+	}
+	if spec.MaxInvocations > 0 {
+		invs = workload.Sample(invs, spec.MaxInvocations)
+	}
+	return invs, nil
+}
+
+// Options configures a simulation.
+type Options struct {
+	// Cores is the enclave size. Zero means 8.
+	Cores int
+	// Scheduler picks the policy. Empty means SchedulerHybrid.
+	Scheduler Scheduler
+	// FIFOCores overrides the hybrid's FIFO group size (default: half).
+	FIFOCores int
+	// TimeLimit overrides the hybrid's static preemption limit (default:
+	// the paper's 1,633 ms).
+	TimeLimit time.Duration
+	// Firecracker runs every invocation inside a simulated microVM
+	// (boot + vCPU + IO threads, server memory budget).
+	Firecracker bool
+	// ServerMemMB caps microVM memory in Firecracker mode (default 512 GB).
+	ServerMemMB int
+}
+
+// Result is a finished simulation's measurements.
+type Result struct {
+	// Scheduler that produced this result.
+	Scheduler Scheduler
+	// Set holds the per-invocation records.
+	Set metrics.Set
+	// Makespan is the completion time of the last task.
+	Makespan time.Duration
+	// Preemptions is the total task preemption count.
+	Preemptions int
+	// LaunchedVMs/FailedVMs are populated in Firecracker mode.
+	LaunchedVMs int
+	FailedVMs   int
+}
+
+// Metric re-exports the metric selector.
+type Metric = metrics.Metric
+
+// Metric selectors.
+const (
+	Execution  = metrics.Execution
+	Response   = metrics.Response
+	Turnaround = metrics.Turnaround
+)
+
+// CDF returns the empirical CDF (milliseconds) of metric m.
+func (r *Result) CDF(m Metric) (stats.CDF, error) { return r.Set.CDF(m) }
+
+// P99Seconds returns the 99th percentile of metric m in seconds.
+func (r *Result) P99Seconds(m Metric) (float64, error) { return r.Set.P99(m) }
+
+// CostUSD bills each invocation at its own memory size under the default
+// AWS Lambda tariff.
+func (r *Result) CostUSD() float64 { return r.Set.Cost(pricing.Default()) }
+
+// CostAtUniformMemoryUSD bills every invocation as if it had memMB.
+func (r *Result) CostAtUniformMemoryUSD(memMB int) float64 {
+	return r.Set.CostAtUniformMemory(pricing.Default(), memMB)
+}
+
+// Summary returns a one-line digest.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s: %s | preemptions=%d makespan=%s cost=$%.6f",
+		r.Scheduler, r.Set.Summary(), r.Preemptions, r.Makespan, r.CostUSD())
+}
+
+// newPolicy constructs the policy for opts.
+func newPolicy(opts Options) (ghost.Policy, error) {
+	hybridCfg := func(dyn bool) core.Config {
+		nf := opts.FIFOCores
+		if nf == 0 {
+			nf = opts.Cores / 2
+		}
+		limit := opts.TimeLimit
+		if limit == 0 {
+			limit = core.DefaultStaticLimit
+		}
+		cfg := core.Config{
+			FIFOCores: nf,
+			TimeLimit: core.TimeLimitConfig{Static: limit},
+		}
+		if dyn {
+			cfg.TimeLimit.Percentile = 0.95
+			cfg.Rightsize = core.RightsizeConfig{Enabled: true}
+		}
+		return cfg
+	}
+	switch opts.Scheduler {
+	case SchedulerFIFO:
+		return fifo.New(fifo.Config{}), nil
+	case SchedulerFIFO100:
+		return fifo.New(fifo.Config{Quantum: 100 * time.Millisecond}), nil
+	case SchedulerCFS:
+		return cfs.New(cfs.Params{}), nil
+	case SchedulerRR:
+		return rr.New(rr.Config{}), nil
+	case SchedulerEDF:
+		return edf.New(edf.Config{}), nil
+	case SchedulerShinjuku:
+		return shinjuku.New(shinjuku.Config{}), nil
+	case SchedulerHybrid:
+		cfg := hybridCfg(false)
+		if err := cfg.Validate(opts.Cores); err != nil {
+			return nil, err
+		}
+		return core.New(cfg), nil
+	case SchedulerHybridDyn:
+		cfg := hybridCfg(true)
+		if err := cfg.Validate(opts.Cores); err != nil {
+			return nil, err
+		}
+		return core.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("faassched: unknown scheduler %q (have %v)", opts.Scheduler, Schedulers())
+	}
+}
+
+// Simulate runs invs under the selected scheduler and returns the
+// measurements. The simulation is deterministic for given inputs.
+func Simulate(opts Options, invs []Invocation) (*Result, error) {
+	if opts.Cores == 0 {
+		opts.Cores = 8
+	}
+	if opts.Cores < 2 {
+		return nil, fmt.Errorf("faassched: need at least 2 cores, got %d", opts.Cores)
+	}
+	if opts.Scheduler == "" {
+		opts.Scheduler = SchedulerHybrid
+	}
+	if len(invs) == 0 {
+		return nil, fmt.Errorf("faassched: empty workload")
+	}
+	policy, err := newPolicy(opts)
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := simkern.New(simkern.DefaultConfig(opts.Cores))
+	if err != nil {
+		return nil, err
+	}
+
+	var fleet *firecracker.Fleet
+	if opts.Firecracker {
+		fleet, err = firecracker.NewFleet(policy, firecracker.Config{ServerMemMB: opts.ServerMemMB})
+		if err != nil {
+			return nil, err
+		}
+		policy = fleet
+	}
+	if _, err := ghost.NewEnclave(kernel, policy, ghost.Config{}); err != nil {
+		return nil, err
+	}
+	if opts.Firecracker {
+		if err := fleet.Launch(kernel, invs); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, t := range workload.Tasks(invs) {
+			if err := kernel.AddTask(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := kernel.Run(0); err != nil {
+		return nil, err
+	}
+	if kernel.Outstanding() != 0 {
+		return nil, fmt.Errorf("faassched: %d tasks unfinished", kernel.Outstanding())
+	}
+	set := metrics.Collect(kernel)
+	res := &Result{
+		Scheduler:   opts.Scheduler,
+		Set:         set,
+		Makespan:    kernel.Makespan(),
+		Preemptions: set.TotalPreemptions(),
+	}
+	if fleet != nil {
+		res.LaunchedVMs = fleet.Launched()
+		res.FailedVMs = fleet.Failed()
+	}
+	return res, nil
+}
+
+// DurationModel re-exports the Fibonacci duration model for callers that
+// build custom workloads.
+func DurationModel() fib.DurationModel { return fib.DefaultModel() }

@@ -1,0 +1,156 @@
+package faassched
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallWorkload(t *testing.T) []Invocation {
+	t.Helper()
+	invs, err := BuildWorkload(WorkloadSpec{Minutes: 2, MaxInvocations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) == 0 {
+		t.Fatal("empty workload")
+	}
+	return invs
+}
+
+func TestBuildWorkloadValidation(t *testing.T) {
+	if _, err := BuildWorkload(WorkloadSpec{Minutes: 99}); err == nil {
+		t.Error("bad minutes accepted")
+	}
+	a, err := BuildWorkload(WorkloadSpec{Minutes: 1, MaxInvocations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorkload(WorkloadSpec{Minutes: 1, MaxInvocations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Error("workload construction not deterministic")
+	}
+}
+
+func TestSimulateEverySchedulerCompletes(t *testing.T) {
+	invs := smallWorkload(t)
+	for _, s := range Schedulers() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			res, err := Simulate(Options{Cores: 4, Scheduler: s}, invs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Set.Completed()) != len(invs) {
+				t.Fatalf("completed %d of %d", len(res.Set.Completed()), len(invs))
+			}
+			if res.Makespan <= 0 {
+				t.Error("zero makespan")
+			}
+			if !strings.Contains(res.Summary(), string(s)) {
+				t.Error("summary missing scheduler name")
+			}
+			if _, err := res.CDF(Execution); err != nil {
+				t.Error(err)
+			}
+			if _, err := res.P99Seconds(Response); err != nil {
+				t.Error(err)
+			}
+			if res.CostUSD() <= 0 || res.CostAtUniformMemoryUSD(1024) <= 0 {
+				t.Error("non-positive cost")
+			}
+		})
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	invs := smallWorkload(t)
+	if _, err := Simulate(Options{Scheduler: "bogus"}, invs); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := Simulate(Options{Cores: 1}, invs); err == nil {
+		t.Error("1 core accepted")
+	}
+	if _, err := Simulate(Options{}, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Simulate(Options{Scheduler: SchedulerHybrid, Cores: 4, FIFOCores: 4}, invs); err == nil {
+		t.Error("hybrid with no CFS cores accepted")
+	}
+}
+
+func TestSimulateDefaultsToHybrid(t *testing.T) {
+	invs := smallWorkload(t)
+	res, err := Simulate(Options{}, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != SchedulerHybrid {
+		t.Errorf("default scheduler = %s", res.Scheduler)
+	}
+}
+
+func TestSimulateCostOrdering(t *testing.T) {
+	// The paper's headline through the public API: CFS costs a multiple of
+	// the hybrid and of FIFO.
+	invs, err := BuildWorkload(WorkloadSpec{Minutes: 2, MaxInvocations: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := map[Scheduler]float64{}
+	for _, s := range []Scheduler{SchedulerFIFO, SchedulerCFS, SchedulerHybrid} {
+		res, err := Simulate(Options{Cores: 4, Scheduler: s}, invs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[s] = res.CostUSD()
+	}
+	if !(cost[SchedulerCFS] > 2*cost[SchedulerHybrid]) {
+		t.Errorf("CFS cost %.6f should exceed 2x hybrid %.6f", cost[SchedulerCFS], cost[SchedulerHybrid])
+	}
+	if !(cost[SchedulerCFS] > 2*cost[SchedulerFIFO]) {
+		t.Errorf("CFS cost %.6f should exceed 2x FIFO %.6f", cost[SchedulerCFS], cost[SchedulerFIFO])
+	}
+}
+
+func TestSimulateFirecrackerMode(t *testing.T) {
+	invs := smallWorkload(t)
+	res, err := Simulate(Options{
+		Cores:       4,
+		Scheduler:   SchedulerHybrid,
+		Firecracker: true,
+		TimeLimit:   500 * time.Millisecond,
+	}, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LaunchedVMs != len(invs) || res.FailedVMs != 0 {
+		t.Errorf("launched=%d failed=%d of %d", res.LaunchedVMs, res.FailedVMs, len(invs))
+	}
+	// Memory wall: a tiny server fails most launches.
+	tiny, err := Simulate(Options{
+		Cores:       4,
+		Scheduler:   SchedulerCFS,
+		Firecracker: true,
+		ServerMemMB: 1000,
+	}, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.FailedVMs == 0 {
+		t.Error("no launch failures despite 1GB server")
+	}
+	if tiny.LaunchedVMs+tiny.FailedVMs != len(invs) {
+		t.Error("VM accounting mismatch")
+	}
+}
+
+func TestDurationModelExported(t *testing.T) {
+	m := DurationModel()
+	if m.Duration(36) <= 0 {
+		t.Error("bad duration model")
+	}
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/core"
+	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/pricing"
+)
+
+// newHybrid wraps core.New for the figure code.
+func newHybrid(cfg core.Config) *core.Hybrid { return core.New(cfg) }
+
+// Fig11 reproduces Figure 11: execution-time CDFs while sweeping the
+// FIFO/CFS core split, against plain CFS. The paper's best split is
+// half/half.
+func Fig11(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	fig := NewFigure("fig11", "Execution CDF vs FIFO/CFS core split (W2)",
+		"scheduler", "metric", "x_ms", "cum_frac")
+	limit := e.P90Limit(invs)
+	// The paper sweeps 10/40, 20/30, 25/25, 30/20, 40/10 on 50 cores;
+	// scale the same fifths to the enclave size.
+	for _, frac := range []float64{0.2, 0.4, 0.5, 0.6, 0.8} {
+		nf := int(frac * float64(e.Cores))
+		if nf < 1 {
+			nf = 1
+		}
+		if nf >= e.Cores {
+			nf = e.Cores - 1
+		}
+		h := newHybrid(core.Config{
+			FIFOCores: nf,
+			TimeLimit: core.TimeLimitConfig{Static: limit},
+		})
+		out, err := e.RunPolicy(h, invs, false)
+		if err != nil {
+			return nil, err
+		}
+		c, err := out.Set.CDF(metrics.Execution)
+		if err != nil {
+			return nil, err
+		}
+		addCDFRows(fig, fmt.Sprintf("hybrid(%d/%d)", nf, e.Cores-nf), "execution", c)
+	}
+	cfsRun, err := e.RunPolicy(e.Baselines()["cfs"](), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cfsRun.Set.CDF(metrics.Execution)
+	if err != nil {
+		return nil, err
+	}
+	addCDFRows(fig, "cfs", "execution", c)
+	fig.Note("static limit %s (p90 of workload durations)", limit)
+	return fig, nil
+}
+
+// Fig12 reproduces Figure 12: the best hybrid split vs CFS on all three
+// metrics.
+func Fig12(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	fig := NewFigure("fig12", "Hybrid (half/half) vs CFS metric CDFs (W2)",
+		"scheduler", "metric", "x_ms", "cum_frac")
+	hybridRun, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := addMetricCDFs(fig, "hybrid", hybridRun.Set); err != nil {
+		return nil, err
+	}
+	cfsRun, err := e.RunPolicy(e.Baselines()["cfs"](), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := addMetricCDFs(fig, "cfs", cfsRun.Set); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig13 reproduces Figure 13: per-core preemption counts, hybrid vs CFS
+// (log-scale in the paper; we report raw counts).
+func Fig13(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	fig := NewFigure("fig13", "Preemption count per core: hybrid vs CFS (W2)",
+		"scheduler", "core", "preemptions")
+	hybridRun, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	for c, n := range metrics.PreemptionsPerCore(hybridRun.Kernel) {
+		fig.AddRow("hybrid", fmt.Sprintf("%d", c), fmt.Sprintf("%d", n))
+	}
+	cfsRun, err := e.RunPolicy(e.Baselines()["cfs"](), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	for c, n := range metrics.PreemptionsPerCore(cfsRun.Kernel) {
+		fig.AddRow("cfs", fmt.Sprintf("%d", c), fmt.Sprintf("%d", n))
+	}
+	fig.Note("hybrid cores 0..%d run FIFO (near-zero preemptions), the rest CFS", e.Cores/2-1)
+	fig.Note("hybrid total %d vs cfs total %d preemptions",
+		hybridRun.Set.TotalPreemptions(), cfsRun.Set.TotalPreemptions())
+	return fig, nil
+}
+
+// Fig14 reproduces Figure 14: average utilization of the FIFO group vs the
+// CFS group over time under the static-limit hybrid.
+func Fig14(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	h := newHybrid(e.HybridConfig(invs))
+	if _, err := e.RunPolicy(h, invs, true); err != nil {
+		return nil, err
+	}
+	return groupUtilFigure("fig14",
+		"FIFO-group vs CFS-group average utilization over time (W2)", h, false), nil
+}
+
+// Fig15 reproduces Figure 15: execution CDFs for adaptive time limits set
+// to the p25/p50/p75/p90/p95 of the recent-100 window.
+func Fig15(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	fig := NewFigure("fig15", "Execution CDF vs adaptive time-limit percentile (W2)",
+		"scheduler", "metric", "x_ms", "cum_frac")
+	for _, p := range []float64{0.25, 0.50, 0.75, 0.90, 0.95} {
+		h := newHybrid(core.Config{
+			FIFOCores: e.Cores / 2,
+			TimeLimit: core.TimeLimitConfig{
+				Static:     e.P90Limit(invs),
+				Percentile: p,
+			},
+		})
+		out, err := e.RunPolicy(h, invs, false)
+		if err != nil {
+			return nil, err
+		}
+		c, err := out.Set.CDF(metrics.Execution)
+		if err != nil {
+			return nil, err
+		}
+		addCDFRows(fig, fmt.Sprintf("ts=p%.0f", p*100), "execution", c)
+	}
+	fig.Note("paper: p95 achieves the best execution time")
+	return fig, nil
+}
+
+// Fig16 reproduces Figure 16: utilization and time limit over time with
+// p75 adaptation on the ten-minute workload.
+func Fig16(e *Env) (*Figure, error) {
+	return e.adaptationTimeline("fig16", 0.75)
+}
+
+// Fig17 reproduces Figure 17: the same with p95 adaptation (volatile,
+// high limit, under-utilized CFS cores).
+func Fig17(e *Env) (*Figure, error) {
+	return e.adaptationTimeline("fig17", 0.95)
+}
+
+func (e *Env) adaptationTimeline(id string, percentile float64) (*Figure, error) {
+	invs, err := e.W10()
+	if err != nil {
+		return nil, err
+	}
+	h := newHybrid(core.Config{
+		FIFOCores: e.Cores / 2,
+		TimeLimit: core.TimeLimitConfig{
+			Static:     core.DefaultStaticLimit,
+			Percentile: percentile,
+		},
+	})
+	if _, err := e.RunPolicy(h, invs, true); err != nil {
+		return nil, err
+	}
+	fig := groupUtilFigure(id,
+		fmt.Sprintf("Utilization and time limit over time, p%.0f adaptation (W10)", percentile*100),
+		h, false)
+	for _, s := range h.LimitSeries().Samples() {
+		fig.AddRow("time_limit_ms", fmt.Sprintf("%.1f", s.T.Seconds()), fmt.Sprintf("%.1f", s.V))
+	}
+	fig.Note("final time limit %s", h.CurrentLimit())
+	return fig, nil
+}
+
+// Fig18 reproduces Figure 18: fixed core groups vs dynamic rightsizing on
+// all three metrics.
+func Fig18(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	fig := NewFigure("fig18", "Hybrid fixed groups vs dynamic rightsizing metric CDFs (W2)",
+		"scheduler", "metric", "x_ms", "cum_frac")
+	fixed, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := addMetricCDFs(fig, "hybrid_fixed", fixed.Set); err != nil {
+		return nil, err
+	}
+	cfg := e.HybridConfig(invs)
+	cfg.Rightsize = core.RightsizeConfig{Enabled: true}
+	cfg.MonitorEvery = e.monitorEvery()
+	dynamic, err := e.RunPolicy(newHybrid(cfg), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := addMetricCDFs(fig, "hybrid_rightsized", dynamic.Set); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Fig19 reproduces Figure 19: group utilization plus the number of FIFO
+// cores over time while the rightsizer adapts (W10).
+func Fig19(e *Env) (*Figure, error) {
+	invs, err := e.W10()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		FIFOCores:    e.Cores / 2,
+		TimeLimit:    core.TimeLimitConfig{Static: e.P90Limit(invs)},
+		MonitorEvery: e.monitorEvery(),
+		Rightsize:    core.RightsizeConfig{Enabled: true},
+	}
+	h := newHybrid(cfg)
+	if _, err := e.RunPolicy(h, invs, true); err != nil {
+		return nil, err
+	}
+	fig := groupUtilFigure("fig19",
+		"Group utilization and FIFO core count under rightsizing (W10)", h, true)
+	return fig, nil
+}
+
+// Fig20 reproduces Figure 20: workload cost by memory size for the hybrid,
+// FIFO, and CFS.
+func Fig20(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	hybridRun, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	fifoRun, err := e.RunPolicy(e.Baselines()["fifo"](), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	cfsRun, err := e.RunPolicy(e.Baselines()["cfs"](), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	fig := NewFigure("fig20", "Cost of hybrid vs FIFO vs CFS by memory size (W2)",
+		"mem_mb", "hybrid_usd", "fifo_usd", "cfs_usd")
+	for _, mem := range pricing.StandardMemorySizesMB {
+		fig.AddRow(fmt.Sprintf("%d", mem),
+			fmtUSD(hybridRun.Set.CostAtUniformMemory(e.Tariff, mem)),
+			fmtUSD(fifoRun.Set.CostAtUniformMemory(e.Tariff, mem)),
+			fmtUSD(cfsRun.Set.CostAtUniformMemory(e.Tariff, mem)))
+	}
+	h := hybridRun.Set.CostAtUniformMemory(e.Tariff, 1024)
+	c := cfsRun.Set.CostAtUniformMemory(e.Tariff, 1024)
+	fig.Note("at 1GB: hybrid saves %.1f%% vs CFS", 100*(1-h/c))
+	return fig, nil
+}
+
+// Table1 reproduces Table I: p99 response/execution/turnaround and the
+// overall cost under the Azure memory distribution for FIFO, CFS, and the
+// hybrid.
+func Table1(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	type result struct {
+		name string
+		out  *RunOutput
+	}
+	runs := make([]result, 0, 3)
+	for _, name := range []string{"fifo", "cfs"} {
+		out, err := e.RunPolicy(e.Baselines()[name](), invs, false)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, result{name: name, out: out})
+	}
+	hybridRun, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, result{name: "ours", out: hybridRun})
+
+	fig := NewFigure("table1", "Schedulers' overall performance and cost (W2)",
+		"metric", "fifo", "cfs", "ours")
+	row := func(label string, f func(metrics.Set) string) {
+		cells := []string{label}
+		for _, r := range runs {
+			cells = append(cells, f(r.out.Set))
+		}
+		fig.AddRow(cells...)
+	}
+	p99 := func(m metrics.Metric) func(metrics.Set) string {
+		return func(s metrics.Set) string {
+			v, err := s.P99(m)
+			if err != nil {
+				return "n/a"
+			}
+			return fmtSec(v)
+		}
+	}
+	row("p99_response_s", p99(metrics.Response))
+	row("p99_execution_s", p99(metrics.Execution))
+	row("p99_turnaround_s", p99(metrics.Turnaround))
+	row("overall_cost_usd", func(s metrics.Set) string { return fmtUSD(s.Cost(e.Tariff)) })
+	fig.Note("costs use the per-invocation Azure memory distribution, AWS Lambda tariff")
+	fig.Note("simulated FIFO has no native-CFS interference, so its execution p99 is the demand itself (DESIGN.md deviation note)")
+	return fig, nil
+}
+
+// groupUtilFigure renders a hybrid's recorded group-utilization series,
+// optionally with the FIFO core count.
+func groupUtilFigure(id, title string, h *core.Hybrid, withCores bool) *Figure {
+	fig := NewFigure(id, title, "series", "t_s", "value")
+	for _, s := range h.FIFOUtilSeries().Samples() {
+		fig.AddRow("fifo_util", fmt.Sprintf("%.1f", s.T.Seconds()), fmt.Sprintf("%.4f", s.V))
+	}
+	for _, s := range h.CFSUtilSeries().Samples() {
+		fig.AddRow("cfs_util", fmt.Sprintf("%.1f", s.T.Seconds()), fmt.Sprintf("%.4f", s.V))
+	}
+	if withCores {
+		for _, s := range h.FIFOCountSeries().Samples() {
+			fig.AddRow("fifo_cores", fmt.Sprintf("%.1f", s.T.Seconds()), fmt.Sprintf("%.0f", s.V))
+		}
+	}
+	return fig
+}
+
+// monitorEvery returns the hybrid monitor period for the scale.
+func (e *Env) monitorEvery() time.Duration {
+	if e.Scale == ScaleQuick {
+		return 250 * time.Millisecond
+	}
+	return time.Second
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/metrics"
+)
+
+// Fig23 reproduces Figure 23: the cost vs p99-response-time plane across
+// every implemented scheduler (the paper's "extra exercise" comparing its
+// hybrid against other ghOSt schedulers).
+func Fig23(e *Env) (*Figure, error) {
+	invs, err := e.W2()
+	if err != nil {
+		return nil, err
+	}
+	factories := e.Baselines()
+	names := make([]string, 0, len(factories)+1)
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fig := NewFigure("fig23", "Cost vs p99 response time across schedulers (W2)",
+		"scheduler", "cost_usd", "p99_response_s")
+	addPoint := func(name string, out *RunOutput) error {
+		p99, err := out.Set.P99(metrics.Response)
+		if err != nil {
+			return err
+		}
+		fig.AddRow(name, fmtUSD(out.Set.Cost(e.Tariff)), fmtSec(p99))
+		return nil
+	}
+	for _, name := range names {
+		out, err := e.RunPolicy(factories[name](), invs, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig23 %s: %w", name, err)
+		}
+		if err := addPoint(name, out); err != nil {
+			return nil, err
+		}
+	}
+	var hybridPolicy ghost.Policy = newHybrid(e.HybridConfig(invs))
+	out, err := e.RunPolicy(hybridPolicy, invs, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := addPoint("hybrid", out); err != nil {
+		return nil, err
+	}
+	fig.Note("the hybrid should sit near the Pareto frontier: low cost at moderate p99 response")
+	return fig, nil
+}

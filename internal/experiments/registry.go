@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper figure or table.
+type Runner func(*Env) (*Figure, error)
+
+// registry maps experiment ids to runners. Figs 3, 7, 8, 9 are
+// explanatory diagrams in the paper, not measurements, so they have no
+// entries.
+var registry = map[string]Runner{
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"fig18":  Fig18,
+	"fig19":  Fig19,
+	"fig20":  Fig20,
+	"fig21":  Fig21,
+	"fig22":  Fig22,
+	"fig23":  Fig23,
+	"table1": Table1,
+
+	// Beyond the paper: substrate ablations and the §VII-4 extension.
+	"ablation-switchcost":   AblationSwitchCost,
+	"ablation-cachepenalty": AblationCachePenalty,
+	"ablation-mingran":      AblationMinGranularity,
+	"ablation-msglatency":   AblationMsgLatency,
+	"table1i":               Table1Interference,
+	"ext-vmthreads":         ExtVMThreads,
+}
+
+// IDs returns every experiment id in stable order: the paper's figures
+// numerically, its table, then the extra ablations/extensions.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := key(out[i]), key(out[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func key(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n
+	}
+	if id == "table1" {
+		return 1000
+	}
+	return 2000 // ablations and extensions, alphabetical
+}
+
+// Lookup returns the runner for id.
+func Lookup(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// Run executes one experiment by id.
+func Run(e *Env, id string) (*Figure, error) {
+	r, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(e)
+}

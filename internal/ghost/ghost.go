@@ -1,0 +1,262 @@
+// Package ghost models the user-space scheduling delegation system the
+// paper builds on (Google ghOSt, SOSP '21): the kernel exposes task state
+// changes as *messages* consumed by user-space *agents* grouped into an
+// *enclave*, and agents commit placement decisions back through
+// *transactions* that can fail if the world moved underneath them.
+//
+// The enclave here wraps internal/simkern. Scheduling policies implement
+// the Policy interface and receive MsgTaskNew/MsgTaskDead messages after a
+// configurable delegation latency, mirroring ghOSt's kernel→user message
+// queues. Placement happens through Env.CommitRun / Env.CommitPreempt,
+// which return errors equivalent to ghOSt's failed transaction commits.
+package ghost
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+// MsgType enumerates delegation messages, following ghOSt's TASK_* naming.
+type MsgType int
+
+// Message types delivered to policies.
+const (
+	MsgTaskNew  MsgType = iota + 1 // a task became runnable
+	MsgTaskDead                    // a task completed
+)
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	switch m {
+	case MsgTaskNew:
+		return "TASK_NEW"
+	case MsgTaskDead:
+		return "TASK_DEAD"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(m))
+	}
+}
+
+// Message is one kernel→agent notification.
+type Message struct {
+	Type MsgType
+	Task *simkern.Task
+	// Core is the core a dead task ran on; NoCore for MsgTaskNew.
+	Core simkern.CoreID
+	// Sent is when the kernel emitted the message; delivery happens
+	// MsgLatency later.
+	Sent time.Duration
+}
+
+// Policy is a user-space scheduling policy attached to an enclave.
+//
+// Attach is called exactly once before any message. OnMessage receives
+// every delegation message in deterministic order. Policies that also
+// implement Ticker get periodic OnTick callbacks managed by the enclave.
+type Policy interface {
+	Name() string
+	Attach(env *Env)
+	OnMessage(msg Message)
+}
+
+// Ticker is implemented by policies needing a periodic agent tick (e.g.
+// CFS's time-slice check, the hybrid scheduler's time-limit scan). The
+// enclave schedules ticks only while the machine has outstanding work, so
+// simulations terminate.
+type Ticker interface {
+	TickEvery() time.Duration
+	OnTick()
+}
+
+// Stats counts delegation activity, mirroring the bookkeeping the paper's
+// agents expose.
+type Stats struct {
+	Delivered  int64 // messages delivered to the policy
+	Commits    int64 // successful transactions (run or preempt)
+	Failed     int64 // failed transactions
+	Ticks      int64 // agent ticks fired
+	Migrations int64 // policy-reported core migrations (hybrid rightsizer)
+}
+
+// Config configures an enclave.
+type Config struct {
+	// MsgLatency is the kernel→agent delegation delay applied to every
+	// message. ghOSt reports µs-scale delivery; default when zero is 2µs.
+	// Use NoLatency for synchronous delivery.
+	MsgLatency time.Duration
+	// NoLatency forces synchronous (zero-delay) message delivery.
+	NoLatency bool
+}
+
+// DefaultMsgLatency is applied when Config.MsgLatency is zero and
+// NoLatency is false.
+const DefaultMsgLatency = 2 * time.Microsecond
+
+// Enclave owns a set of cores (in this simulator: all kernel cores) and
+// delegates their scheduling to a Policy.
+type Enclave struct {
+	kernel  *simkern.Kernel
+	policy  Policy
+	latency time.Duration
+	stats   Stats
+
+	tickPending bool
+	env         *Env
+}
+
+// NewEnclave wires policy into kernel and registers the delegation
+// handler. The kernel must not have another handler.
+func NewEnclave(kernel *simkern.Kernel, policy Policy, cfg Config) (*Enclave, error) {
+	if kernel == nil {
+		return nil, errors.New("ghost: nil kernel")
+	}
+	if policy == nil {
+		return nil, errors.New("ghost: nil policy")
+	}
+	if cfg.MsgLatency < 0 {
+		return nil, fmt.Errorf("ghost: negative message latency %v", cfg.MsgLatency)
+	}
+	latency := cfg.MsgLatency
+	if latency == 0 && !cfg.NoLatency {
+		latency = DefaultMsgLatency
+	}
+	e := &Enclave{kernel: kernel, policy: policy, latency: latency}
+	e.env = &Env{enclave: e}
+	kernel.SetHandler(e)
+	policy.Attach(e.env)
+	return e, nil
+}
+
+// Stats returns a snapshot of delegation counters.
+func (e *Enclave) Stats() Stats { return e.stats }
+
+// Policy returns the attached policy.
+func (e *Enclave) Policy() Policy { return e.policy }
+
+// OnTaskArrived implements simkern.Handler: emit MsgTaskNew.
+func (e *Enclave) OnTaskArrived(t *simkern.Task) {
+	e.deliver(Message{Type: MsgTaskNew, Task: t, Core: simkern.NoCore, Sent: e.kernel.Now()})
+}
+
+// OnTaskFinished implements simkern.Handler: emit MsgTaskDead.
+func (e *Enclave) OnTaskFinished(t *simkern.Task, c simkern.CoreID) {
+	e.deliver(Message{Type: MsgTaskDead, Task: t, Core: c, Sent: e.kernel.Now()})
+}
+
+func (e *Enclave) deliver(msg Message) {
+	if e.latency == 0 {
+		e.dispatch(msg)
+		return
+	}
+	e.kernel.SetTimer(e.kernel.Now()+e.latency, func() {
+		e.dispatch(msg)
+	})
+}
+
+func (e *Enclave) dispatch(msg Message) {
+	e.stats.Delivered++
+	e.policy.OnMessage(msg)
+	e.ensureTick()
+}
+
+// ensureTick keeps the policy's periodic tick alive while work remains.
+// Policies may return a non-positive TickEvery to opt out dynamically
+// (e.g. pure FIFO needs no agent tick).
+func (e *Enclave) ensureTick() {
+	ticker, ok := e.policy.(Ticker)
+	if !ok || e.tickPending {
+		return
+	}
+	if ticker.TickEvery() <= 0 {
+		return
+	}
+	if e.kernel.Outstanding() == 0 {
+		return
+	}
+	e.tickPending = true
+	e.kernel.SetTimer(e.kernel.Now()+ticker.TickEvery(), func() {
+		e.tickPending = false
+		e.stats.Ticks++
+		ticker.OnTick()
+		e.ensureTick()
+	})
+}
+
+// Env is the operations handle a policy uses to inspect and control its
+// enclave. It wraps kernel mechanisms with transaction-style semantics.
+type Env struct {
+	enclave *Enclave
+}
+
+// Now returns the current simulation time.
+func (v *Env) Now() time.Duration { return v.enclave.kernel.Now() }
+
+// Cores returns the number of cores in the enclave. Cores are identified
+// by simkern.CoreID values 0..Cores()-1.
+func (v *Env) Cores() int { return v.enclave.kernel.CoreCount() }
+
+// CommitRun commits a "place task t on core c" transaction.
+func (v *Env) CommitRun(c simkern.CoreID, t *simkern.Task) error {
+	if err := v.enclave.kernel.RunTask(c, t); err != nil {
+		v.enclave.stats.Failed++
+		return err
+	}
+	v.enclave.stats.Commits++
+	return nil
+}
+
+// CommitPreempt commits a "preempt core c" transaction, returning the
+// displaced task.
+func (v *Env) CommitPreempt(c simkern.CoreID) (*simkern.Task, error) {
+	t, err := v.enclave.kernel.Preempt(c)
+	if err != nil {
+		v.enclave.stats.Failed++
+		return nil, err
+	}
+	v.enclave.stats.Commits++
+	return t, nil
+}
+
+// RunningTask returns the task currently on core c, or nil.
+func (v *Env) RunningTask(c simkern.CoreID) *simkern.Task {
+	return v.enclave.kernel.RunningTask(c)
+}
+
+// TaskCPUConsumed returns t's CPU consumption as of now, including the
+// in-progress segment.
+func (v *Env) TaskCPUConsumed(t *simkern.Task) time.Duration {
+	return v.enclave.kernel.TaskCPUConsumed(t)
+}
+
+// SetTimer schedules fn at absolute simulation time at.
+func (v *Env) SetTimer(at time.Duration, fn func()) simkern.TimerID {
+	return v.enclave.kernel.SetTimer(at, fn)
+}
+
+// CancelTimer cancels a pending timer.
+func (v *Env) CancelTimer(id simkern.TimerID) bool {
+	return v.enclave.kernel.CancelTimer(id)
+}
+
+// UtilLast returns core c's utilization over the last completed sampling
+// window (the simulated psutil/shared-memory readout).
+func (v *Env) UtilLast(c simkern.CoreID) float64 {
+	return v.enclave.kernel.UtilLast(c)
+}
+
+// Outstanding returns the number of unfinished tasks in the kernel.
+func (v *Env) Outstanding() int { return v.enclave.kernel.Outstanding() }
+
+// AddTask registers a new task mid-run (agents in ghOSt can spawn work —
+// the Firecracker layer uses this for the threads a booted microVM forks).
+func (v *Env) AddTask(t *simkern.Task) error { return v.enclave.kernel.AddTask(t) }
+
+// AbortTask fails an admitted-but-never-run task (microVM launch failure).
+// No TASK_DEAD message is emitted.
+func (v *Env) AbortTask(t *simkern.Task) error { return v.enclave.kernel.AbortTask(t) }
+
+// NoteMigration lets a policy record a core migration in enclave stats.
+func (v *Env) NoteMigration() { v.enclave.stats.Migrations++ }

@@ -1,0 +1,243 @@
+package ghost
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+// testPolicy is a centralized FIFO used to exercise the enclave plumbing.
+type testPolicy struct {
+	env      *Env
+	queue    []*simkern.Task
+	msgs     []Message
+	ticks    int
+	tickRate time.Duration
+}
+
+func (p *testPolicy) Name() string    { return "test-fifo" }
+func (p *testPolicy) Attach(env *Env) { p.env = env }
+func (p *testPolicy) OnMessage(m Message) {
+	p.msgs = append(p.msgs, m)
+	if m.Type == MsgTaskNew {
+		p.queue = append(p.queue, m.Task)
+	}
+	p.dispatch()
+}
+
+func (p *testPolicy) dispatch() {
+	for c := simkern.CoreID(0); int(c) < p.env.Cores(); c++ {
+		if len(p.queue) == 0 {
+			return
+		}
+		if p.env.RunningTask(c) == nil {
+			t := p.queue[0]
+			if err := p.env.CommitRun(c, t); err != nil {
+				return
+			}
+			p.queue = p.queue[1:]
+		}
+	}
+}
+
+func (p *testPolicy) TickEvery() time.Duration {
+	if p.tickRate == 0 {
+		return time.Millisecond
+	}
+	return p.tickRate
+}
+func (p *testPolicy) OnTick() { p.ticks++ }
+
+func newKernel(t *testing.T, cores int) *simkern.Kernel {
+	t.Helper()
+	k, err := simkern.New(simkern.Config{Cores: cores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewEnclaveValidation(t *testing.T) {
+	k := newKernel(t, 1)
+	if _, err := NewEnclave(nil, &testPolicy{}, Config{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := NewEnclave(k, nil, Config{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewEnclave(k, &testPolicy{}, Config{MsgLatency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestMessagesDriveScheduling(t *testing.T) {
+	k := newKernel(t, 2)
+	p := &testPolicy{}
+	enclave, err := NewEnclave(k, p, Config{NoLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		task := &simkern.Task{ID: simkern.TaskID(i), Work: 10 * time.Millisecond}
+		if err := k.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d, want 0", k.Outstanding())
+	}
+	var news, deads int
+	for _, m := range p.msgs {
+		switch m.Type {
+		case MsgTaskNew:
+			news++
+		case MsgTaskDead:
+			deads++
+		}
+	}
+	if news != 5 || deads != 5 {
+		t.Errorf("messages: %d new, %d dead; want 5/5", news, deads)
+	}
+	st := enclave.Stats()
+	if st.Delivered != 10 {
+		t.Errorf("Delivered = %d, want 10", st.Delivered)
+	}
+	if st.Commits != 5 {
+		t.Errorf("Commits = %d, want 5", st.Commits)
+	}
+}
+
+func TestMessageLatencyDelaysDelivery(t *testing.T) {
+	k := newKernel(t, 1)
+	p := &testPolicy{}
+	lat := 500 * time.Microsecond
+	if _, err := NewEnclave(k, p, Config{MsgLatency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	task := &simkern.Task{ID: 1, Arrival: time.Millisecond, Work: 10 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Task arrived at 1ms, message delivered at 1.5ms, so first run at 1.5ms.
+	if got := task.FirstRun(); got != time.Millisecond+lat {
+		t.Errorf("FirstRun = %v, want %v", got, time.Millisecond+lat)
+	}
+	// The TASK_NEW message must carry the emission time, not delivery time.
+	if p.msgs[0].Sent != time.Millisecond {
+		t.Errorf("msg Sent = %v, want 1ms", p.msgs[0].Sent)
+	}
+}
+
+func TestDefaultLatencyApplied(t *testing.T) {
+	k := newKernel(t, 1)
+	p := &testPolicy{}
+	if _, err := NewEnclave(k, p, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	task := &simkern.Task{ID: 1, Work: time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := task.FirstRun(); got != DefaultMsgLatency {
+		t.Errorf("FirstRun = %v, want default latency %v", got, DefaultMsgLatency)
+	}
+}
+
+func TestTickerLifecycle(t *testing.T) {
+	k := newKernel(t, 1)
+	p := &testPolicy{tickRate: time.Millisecond}
+	enclave, err := NewEnclave(k, p, Config{NoLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 10ms task: ticks should fire roughly 10 times and then stop once
+	// the machine drains (the event loop must terminate on its own).
+	if err := k.AddTask(&simkern.Task{ID: 1, Work: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.ticks < 8 || p.ticks > 12 {
+		t.Errorf("ticks = %d, want ~10", p.ticks)
+	}
+	if enclave.Stats().Ticks != int64(p.ticks) {
+		t.Errorf("stats ticks %d != policy ticks %d", enclave.Stats().Ticks, p.ticks)
+	}
+}
+
+func TestFailedTransactionCounted(t *testing.T) {
+	k := newKernel(t, 1)
+	p := &testPolicy{}
+	enclave, err := NewEnclave(k, p, Config{NoLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preempting an idle core is a failed transaction.
+	if _, err := p.env.CommitPreempt(0); !errors.Is(err, simkern.ErrCoreIdle) {
+		t.Fatalf("CommitPreempt(idle) = %v, want ErrCoreIdle", err)
+	}
+	if enclave.Stats().Failed != 1 {
+		t.Errorf("Failed = %d, want 1", enclave.Stats().Failed)
+	}
+	p.env.NoteMigration()
+	if enclave.Stats().Migrations != 1 {
+		t.Errorf("Migrations = %d, want 1", enclave.Stats().Migrations)
+	}
+}
+
+func TestPreemptRoundTripThroughEnv(t *testing.T) {
+	k := newKernel(t, 1)
+	p := &testPolicy{}
+	if _, err := NewEnclave(k, p, Config{NoLatency: true}); err != nil {
+		t.Fatal(err)
+	}
+	task := &simkern.Task{ID: 1, Work: 100 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	p.env.SetTimer(20*time.Millisecond, func() {
+		got, err := p.env.CommitPreempt(0)
+		if err != nil {
+			t.Fatalf("CommitPreempt: %v", err)
+		}
+		if got != task {
+			t.Fatal("wrong task preempted")
+		}
+		// Requeue at the back, per the paper's preemption semantics.
+		p.queue = append(p.queue, got)
+		p.dispatch()
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != simkern.StateFinished {
+		t.Fatalf("task state = %v", task.State())
+	}
+	if task.Preemptions() != 1 {
+		t.Errorf("preemptions = %d, want 1", task.Preemptions())
+	}
+	if got := p.env.TaskCPUConsumed(task); got != task.CPUConsumed() {
+		t.Errorf("TaskCPUConsumed mismatch: %v vs %v", got, task.CPUConsumed())
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgTaskNew.String() != "TASK_NEW" || MsgTaskDead.String() != "TASK_DEAD" {
+		t.Error("unexpected message type strings")
+	}
+	if MsgType(42).String() == "" {
+		t.Error("unknown type should render")
+	}
+}

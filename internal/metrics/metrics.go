@@ -1,0 +1,272 @@
+// Package metrics implements the paper's §II-B measurement model
+// (following Arpaci-Dusseau's OSTEP definitions):
+//
+//	Texecution  = Tcompletion − TfirstRun
+//	Tresponse   = TfirstRun  − Tarrival
+//	Tturnaround = Tcompletion − Tarrival
+//
+// plus the derived quantities every experiment reports: metric CDFs,
+// per-core preemption counts, and billing joins against a pricing.Tariff.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/pricing"
+	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/stats"
+)
+
+// Record is one completed (or failed) invocation's measurements.
+type Record struct {
+	ID          uint64
+	Label       string
+	Arrival     time.Duration
+	FirstRun    time.Duration
+	Finish      time.Duration
+	CPU         time.Duration // CPU actually consumed
+	Preemptions int
+	MemMB       int
+	FibN        int
+	// Failed marks invocations that never ran (e.g. microVM launch
+	// failures when server memory is exhausted, §VI-E). Failed records
+	// carry no timing metrics.
+	Failed bool
+}
+
+// Execution returns Tcompletion − TfirstRun.
+func (r Record) Execution() time.Duration { return r.Finish - r.FirstRun }
+
+// Response returns TfirstRun − Tarrival.
+func (r Record) Response() time.Duration { return r.FirstRun - r.Arrival }
+
+// Turnaround returns Tcompletion − Tarrival.
+func (r Record) Turnaround() time.Duration { return r.Finish - r.Arrival }
+
+// FromTask converts a finished simulator task into a Record.
+func FromTask(t *simkern.Task) Record {
+	return Record{
+		ID:          uint64(t.ID),
+		Label:       t.Label,
+		Arrival:     t.Arrival,
+		FirstRun:    t.FirstRun(),
+		Finish:      t.Finish(),
+		CPU:         t.CPUConsumed(),
+		Preemptions: t.Preemptions(),
+		MemMB:       t.MemMB,
+		FibN:        t.FibN,
+	}
+}
+
+// Set is a collection of records with derived statistics.
+type Set struct {
+	Records []Record
+}
+
+// Collect gathers records for every finished or failed function-kind task
+// in the kernel. MicroVM housekeeping threads (VMM/IO) are excluded: the
+// paper bills and measures function invocations, not VMM internals. Failed
+// tasks (aborted microVM launches) yield Failed records with no timings.
+func Collect(k *simkern.Kernel) Set {
+	s := Set{Records: make([]Record, 0, len(k.Tasks()))}
+	for _, t := range k.Tasks() {
+		if t.Kind != simkern.KindFunction && t.Kind != simkern.KindVCPU {
+			continue
+		}
+		switch t.State() {
+		case simkern.StateFinished:
+			s.Records = append(s.Records, FromTask(t))
+		case simkern.StateFailed:
+			s.Records = append(s.Records, Record{
+				ID:     uint64(t.ID),
+				Label:  t.Label,
+				MemMB:  t.MemMB,
+				FibN:   t.FibN,
+				Failed: true,
+			})
+		}
+	}
+	return s
+}
+
+// Completed returns the records that actually ran.
+func (s Set) Completed() []Record {
+	out := make([]Record, 0, len(s.Records))
+	for _, r := range s.Records {
+		if !r.Failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailedCount returns the number of failed invocations.
+func (s Set) FailedCount() int {
+	n := 0
+	for _, r := range s.Records {
+		if r.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Metric selects one of the paper's three per-task metrics.
+type Metric int
+
+// Metrics.
+const (
+	Execution Metric = iota + 1
+	Response
+	Turnaround
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Execution:
+		return "execution"
+	case Response:
+		return "response"
+	case Turnaround:
+		return "turnaround"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// valueMs extracts metric m from r in milliseconds.
+func valueMs(r Record, m Metric) float64 {
+	var d time.Duration
+	switch m {
+	case Execution:
+		d = r.Execution()
+	case Response:
+		d = r.Response()
+	case Turnaround:
+		d = r.Turnaround()
+	}
+	return float64(d) / float64(time.Millisecond)
+}
+
+// CDF builds the empirical CDF (milliseconds) of metric m over completed
+// records.
+func (s Set) CDF(m Metric) (stats.CDF, error) {
+	done := s.Completed()
+	vals := make([]float64, 0, len(done))
+	for _, r := range done {
+		vals = append(vals, valueMs(r, m))
+	}
+	return stats.NewCDF(vals)
+}
+
+// P99 returns the 99th percentile of metric m, in seconds (the unit of the
+// paper's Table I).
+func (s Set) P99(m Metric) (float64, error) {
+	c, err := s.CDF(m)
+	if err != nil {
+		return 0, err
+	}
+	return c.Quantile(0.99) / 1000.0, nil
+}
+
+// TotalExecution sums execution time across completed records.
+func (s Set) TotalExecution() time.Duration {
+	var sum time.Duration
+	for _, r := range s.Completed() {
+		sum += r.Execution()
+	}
+	return sum
+}
+
+// TotalPreemptions sums preemption counts.
+func (s Set) TotalPreemptions() int {
+	n := 0
+	for _, r := range s.Records {
+		n += r.Preemptions
+	}
+	return n
+}
+
+// Cost bills every completed record's execution time at its own memory
+// size (Table I's "overall cost").
+func (s Set) Cost(t pricing.Tariff) float64 {
+	total := 0.0
+	for _, r := range s.Completed() {
+		total += t.InvocationCost(r.Execution(), r.MemMB)
+	}
+	return total
+}
+
+// CostAtUniformMemory bills every completed record as if all functions had
+// the same memory size — the paper's Figs 1, 20, 22 ("what the cost
+// difference would be if all functions would have the same size").
+func (s Set) CostAtUniformMemory(t pricing.Tariff, memMB int) float64 {
+	total := 0.0
+	for _, r := range s.Completed() {
+		total += t.InvocationCost(r.Execution(), memMB)
+	}
+	return total
+}
+
+// PreemptionsPerCore returns each core's preemption count from the kernel
+// (Fig 13).
+func PreemptionsPerCore(k *simkern.Kernel) []int64 {
+	out := make([]int64, k.CoreCount())
+	for c := 0; c < k.CoreCount(); c++ {
+		out[c] = k.CorePreemptions(simkern.CoreID(c))
+	}
+	return out
+}
+
+// GroupUtil averages the recorded utilization history of a core group into
+// one series (Figs 14, 16, 17, 19). It requires the kernel to have been
+// built with RecordUtil.
+func GroupUtil(k *simkern.Kernel, cores []simkern.CoreID, name string) *stats.Series {
+	out := stats.NewSeries(name)
+	if len(cores) == 0 {
+		return out
+	}
+	ref := k.UtilHistory(cores[0])
+	if ref == nil {
+		return out
+	}
+	n := ref.Len()
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		cnt := 0
+		var at time.Duration
+		for _, c := range cores {
+			h := k.UtilHistory(c)
+			if h == nil || i >= h.Len() {
+				continue
+			}
+			sum += h.Samples()[i].V
+			at = h.Samples()[i].T
+			cnt++
+		}
+		if cnt > 0 {
+			out.Append(at, sum/float64(cnt))
+		}
+	}
+	return out
+}
+
+// Summary is a compact textual digest used by examples and harness logs.
+func (s Set) Summary() string {
+	done := s.Completed()
+	if len(done) == 0 {
+		return "no completed records"
+	}
+	exec, _ := s.CDF(Execution)
+	resp, _ := s.CDF(Response)
+	turn, _ := s.CDF(Turnaround)
+	return fmt.Sprintf(
+		"n=%d failed=%d | exec p50=%.1fms p99=%.1fms | resp p50=%.1fms p99=%.1fms | turn p99=%.1fms",
+		len(done), s.FailedCount(),
+		exec.Quantile(0.5), exec.Quantile(0.99),
+		resp.Quantile(0.5), resp.Quantile(0.99),
+		turn.Quantile(0.99),
+	)
+}

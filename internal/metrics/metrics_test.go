@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/faassched/faassched/internal/pricing"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+func rec(arrival, firstRun, finish time.Duration) Record {
+	return Record{Arrival: arrival, FirstRun: firstRun, Finish: finish, MemMB: 128}
+}
+
+func TestMetricIdentities(t *testing.T) {
+	r := rec(10*time.Millisecond, 30*time.Millisecond, 100*time.Millisecond)
+	if r.Response() != 20*time.Millisecond {
+		t.Errorf("Response = %v", r.Response())
+	}
+	if r.Execution() != 70*time.Millisecond {
+		t.Errorf("Execution = %v", r.Execution())
+	}
+	if r.Turnaround() != 90*time.Millisecond {
+		t.Errorf("Turnaround = %v", r.Turnaround())
+	}
+}
+
+// Property (paper §II-B): turnaround == response + execution, always.
+func TestTurnaroundIdentityProperty(t *testing.T) {
+	f := func(a, fr, fin uint32) bool {
+		arrival := time.Duration(a)
+		firstRun := arrival + time.Duration(fr)
+		finish := firstRun + time.Duration(fin)
+		r := rec(arrival, firstRun, finish)
+		return r.Turnaround() == r.Response()+r.Execution()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCDFAndP99(t *testing.T) {
+	s := Set{}
+	for i := 1; i <= 100; i++ {
+		s.Records = append(s.Records, rec(0, 0, time.Duration(i)*time.Millisecond))
+	}
+	c, err := s.CDF(Execution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 100 {
+		t.Errorf("CDF N = %d", c.N())
+	}
+	p99, err := s.P99(Execution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p99-0.099) > 1e-9 { // 99ms in seconds
+		t.Errorf("P99 = %v s, want 0.099", p99)
+	}
+}
+
+func TestFailedRecordsExcluded(t *testing.T) {
+	s := Set{Records: []Record{
+		rec(0, 0, 10*time.Millisecond),
+		{Failed: true, MemMB: 128},
+	}}
+	if len(s.Completed()) != 1 {
+		t.Errorf("Completed = %d", len(s.Completed()))
+	}
+	if s.FailedCount() != 1 {
+		t.Errorf("FailedCount = %d", s.FailedCount())
+	}
+	if s.TotalExecution() != 10*time.Millisecond {
+		t.Errorf("TotalExecution = %v", s.TotalExecution())
+	}
+	// Cost must ignore failed records too.
+	tariff := pricing.Default()
+	if got, want := s.Cost(tariff), tariff.InvocationCost(10*time.Millisecond, 128); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestCostAtUniformMemoryScalesWithMemory(t *testing.T) {
+	s := Set{Records: []Record{rec(0, 0, 100*time.Millisecond)}}
+	tariff := pricing.Default()
+	c128 := s.CostAtUniformMemory(tariff, 128)
+	c1024 := s.CostAtUniformMemory(tariff, 1024)
+	// Compute part scales 8x; request charge constant.
+	wantRatio := (tariff.ComputeCost(100*time.Millisecond, 1024) + tariff.PerRequestUSD) /
+		(tariff.ComputeCost(100*time.Millisecond, 128) + tariff.PerRequestUSD)
+	if math.Abs(c1024/c128-wantRatio) > 1e-9 {
+		t.Errorf("cost ratio = %v, want %v", c1024/c128, wantRatio)
+	}
+}
+
+func TestCollectFromKernel(t *testing.T) {
+	k, err := simkern.New(simkern.Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fifoHandler{k: k}
+	k.SetHandler(h)
+	tasks := []*simkern.Task{
+		{ID: 1, Kind: simkern.KindFunction, Work: 10 * time.Millisecond, MemMB: 256, FibN: 36},
+		{ID: 2, Kind: simkern.KindVMM, Work: 5 * time.Millisecond, Arrival: time.Millisecond},
+		{ID: 3, Kind: simkern.KindVCPU, Work: 8 * time.Millisecond, Arrival: 2 * time.Millisecond, MemMB: 512},
+	}
+	for _, task := range tasks {
+		if err := k.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := Collect(k)
+	// VMM thread excluded: function + vcpu only.
+	if len(s.Records) != 2 {
+		t.Fatalf("collected %d records, want 2", len(s.Records))
+	}
+	if s.Records[0].MemMB != 256 || s.Records[0].FibN != 36 {
+		t.Errorf("record fields not copied: %+v", s.Records[0])
+	}
+	if s.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// fifoHandler is a minimal dispatcher for Collect tests.
+type fifoHandler struct {
+	k *simkern.Kernel
+	q []*simkern.Task
+}
+
+func (h *fifoHandler) OnTaskArrived(t *simkern.Task) {
+	h.q = append(h.q, t)
+	h.pump()
+}
+func (h *fifoHandler) OnTaskFinished(*simkern.Task, simkern.CoreID) { h.pump() }
+func (h *fifoHandler) pump() {
+	if len(h.q) == 0 || h.k.RunningTask(0) != nil {
+		return
+	}
+	t := h.q[0]
+	h.q = h.q[1:]
+	if err := h.k.RunTask(0, t); err != nil {
+		panic(err)
+	}
+}
+
+func TestPreemptionsPerCoreAndGroupUtil(t *testing.T) {
+	k, err := simkern.New(simkern.Config{
+		Cores:       2,
+		SampleEvery: 5 * time.Millisecond,
+		RecordUtil:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fifoHandler{k: k}
+	k.SetHandler(h)
+	if err := k.AddTask(&simkern.Task{ID: 1, Kind: simkern.KindFunction, Work: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	pp := PreemptionsPerCore(k)
+	if len(pp) != 2 || pp[0] != 0 {
+		t.Errorf("PreemptionsPerCore = %v", pp)
+	}
+	g := GroupUtil(k, []simkern.CoreID{0, 1}, "both")
+	if g.Name() != "both" || g.Len() == 0 {
+		t.Fatalf("GroupUtil empty")
+	}
+	// Core 0 fully busy, core 1 idle → group average 0.5 in the first
+	// windows.
+	if v := g.Samples()[0].V; math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("first group util = %v, want 0.5", v)
+	}
+	if empty := GroupUtil(k, nil, "none"); empty.Len() != 0 {
+		t.Error("GroupUtil(nil cores) should be empty")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	for _, m := range []Metric{Execution, Response, Turnaround, Metric(9)} {
+		if m.String() == "" {
+			t.Errorf("Metric(%d) renders empty", int(m))
+		}
+	}
+}
+
+func TestCDFEmptyErrors(t *testing.T) {
+	s := Set{}
+	if _, err := s.CDF(Execution); err == nil {
+		t.Error("CDF over empty set should fail")
+	}
+	if _, err := s.P99(Execution); err == nil {
+		t.Error("P99 over empty set should fail")
+	}
+}

@@ -1,0 +1,414 @@
+// Package cfs implements a faithful-in-mechanism model of the Linux
+// Completely Fair Scheduler (§III-C): per-core runqueues ordered by
+// virtual runtime in a red-black tree, time slices derived from the
+// scheduling latency divided by the number of runnable tasks (floored at
+// the minimum granularity), wakeup placement on the least-loaded core with
+// wakeup preemption, and idle load balancing that pulls from the busiest
+// queue.
+//
+// Like internal/policy/fifo, the package exposes a reusable Engine (the
+// hybrid scheduler's long-task group) and a standalone Policy.
+package cfs
+
+import (
+	"time"
+
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/queue"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+// Params are the CFS tunables; zero fields take the defaults below,
+// which correspond to a large-core-count server's effective values.
+type Params struct {
+	// SchedLatency is the target period in which every runnable task runs
+	// once (sysctl kernel.sched_latency_ns).
+	SchedLatency time.Duration
+	// MinGranularity floors the per-task slice
+	// (sysctl kernel.sched_min_granularity_ns).
+	MinGranularity time.Duration
+	// WakeupGranularity limits wakeup preemption: a waking task preempts
+	// only if its vruntime is behind the runner's by more than this
+	// (sysctl kernel.sched_wakeup_granularity_ns).
+	WakeupGranularity time.Duration
+	// Tick is the agent's periodic slice-check period.
+	Tick time.Duration
+}
+
+// Default CFS tunables.
+const (
+	DefaultSchedLatency      = 24 * time.Millisecond
+	DefaultMinGranularity    = 3 * time.Millisecond
+	DefaultWakeupGranularity = time.Millisecond
+	DefaultTick              = time.Millisecond
+)
+
+func (p Params) withDefaults() Params {
+	if p.SchedLatency == 0 {
+		p.SchedLatency = DefaultSchedLatency
+	}
+	if p.MinGranularity == 0 {
+		p.MinGranularity = DefaultMinGranularity
+	}
+	if p.WakeupGranularity == 0 {
+		p.WakeupGranularity = DefaultWakeupGranularity
+	}
+	if p.Tick == 0 {
+		p.Tick = DefaultTick
+	}
+	return p
+}
+
+// taskData is the per-task CFS bookkeeping kept in Task.PolicyData.
+type taskData struct {
+	vruntime     time.Duration
+	node         *queue.Node    // non-nil while queued in a tree
+	core         simkern.CoreID // runqueue the task belongs to
+	lastConsumed time.Duration  // Task CPU consumption at dispatch
+}
+
+func data(t *simkern.Task) *taskData {
+	d, ok := t.PolicyData.(*taskData)
+	if !ok {
+		d = &taskData{}
+		t.PolicyData = d
+	}
+	return d
+}
+
+// runqueue is one core's CFS state.
+type runqueue struct {
+	id         simkern.CoreID
+	tree       queue.RBTree
+	minV       time.Duration // monotone floor for newcomers' vruntime
+	curr       *simkern.Task
+	sliceStart time.Duration
+}
+
+func (rq *runqueue) nrRunning() int {
+	n := rq.tree.Len()
+	if rq.curr != nil {
+		n++
+	}
+	return n
+}
+
+// Engine is the CFS scheduling core over a dynamic set of cores.
+type Engine struct {
+	env    *ghost.Env
+	params Params
+	rqs    map[simkern.CoreID]*runqueue
+	order  []simkern.CoreID // stable iteration order
+}
+
+// NewEngine returns a CFS engine over the given cores.
+func NewEngine(env *ghost.Env, cores []simkern.CoreID, params Params) *Engine {
+	e := &Engine{
+		env:    env,
+		params: params.withDefaults(),
+		rqs:    make(map[simkern.CoreID]*runqueue, len(cores)),
+	}
+	for _, c := range cores {
+		e.AddCore(c)
+	}
+	return e
+}
+
+// Cores returns the cores currently in the group in iteration order.
+func (e *Engine) Cores() []simkern.CoreID { return e.order }
+
+// NrRunning returns the number of runnable tasks (incl. running) on c.
+func (e *Engine) NrRunning(c simkern.CoreID) int {
+	rq, ok := e.rqs[c]
+	if !ok {
+		return 0
+	}
+	return rq.nrRunning()
+}
+
+// TotalRunnable returns the number of runnable tasks across the group.
+func (e *Engine) TotalRunnable() int {
+	n := 0
+	for _, c := range e.order {
+		n += e.rqs[c].nrRunning()
+	}
+	return n
+}
+
+// AddCore adds a core with an empty runqueue.
+func (e *Engine) AddCore(c simkern.CoreID) {
+	if _, ok := e.rqs[c]; ok {
+		return
+	}
+	e.rqs[c] = &runqueue{id: c}
+	e.order = append(e.order, c)
+}
+
+// RemoveCore removes c from the group and returns every task that was
+// queued or running on it (the running task is preempted). This is step
+// "Task Preemption" + "Task Migration" of the paper's Fig 8 protocol; the
+// caller redistributes the returned tasks.
+func (e *Engine) RemoveCore(c simkern.CoreID) []*simkern.Task {
+	rq, ok := e.rqs[c]
+	if !ok {
+		return nil
+	}
+	var out []*simkern.Task
+	if rq.curr != nil {
+		if got, err := e.env.CommitPreempt(c); err == nil {
+			e.chargeRuntime(got)
+			out = append(out, got)
+		}
+		// On failure the task completed under us; the TASK_DEAD message
+		// is in flight and needs no action.
+		rq.curr = nil
+	}
+	rq.tree.InOrder(func(n *queue.Node) bool {
+		t := n.Value.(*simkern.Task)
+		data(t).node = nil
+		out = append(out, t)
+		return true
+	})
+	delete(e.rqs, c)
+	for i, id := range e.order {
+		if id == c {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	return out
+}
+
+// Enqueue places t on the least-loaded core's runqueue (CFS wakeup
+// placement).
+func (e *Engine) Enqueue(t *simkern.Task) {
+	best := simkern.NoCore
+	bestN := int(^uint(0) >> 1)
+	for _, c := range e.order {
+		if n := e.rqs[c].nrRunning(); n < bestN {
+			bestN = n
+			best = c
+		}
+	}
+	if best == simkern.NoCore {
+		panic("cfs: Enqueue with no cores in group")
+	}
+	e.EnqueueOn(best, t)
+}
+
+// EnqueueOn places t on core c's runqueue. The hybrid scheduler uses it to
+// spill expired FIFO tasks round-robin across the CFS cores (§IV-A: "the
+// preempted tasks from the FIFO cores will be evenly distributed to the
+// CFS cores in a Round-Robin way").
+func (e *Engine) EnqueueOn(c simkern.CoreID, t *simkern.Task) {
+	rq, ok := e.rqs[c]
+	if !ok {
+		panic("cfs: EnqueueOn unknown core")
+	}
+	d := data(t)
+	if d.vruntime < rq.minV {
+		d.vruntime = rq.minV
+	}
+	d.core = c
+	d.node = rq.tree.Insert(queue.Key{Weight: int64(d.vruntime), ID: uint64(t.ID)}, t)
+	if rq.curr == nil {
+		e.pickNext(rq)
+		return
+	}
+	e.maybeWakeupPreempt(rq, d)
+}
+
+// maybeWakeupPreempt preempts the runner if the newly queued task is
+// entitled to run by more than the wakeup granularity.
+func (e *Engine) maybeWakeupPreempt(rq *runqueue, newcomer *taskData) {
+	currD := data(rq.curr)
+	currV := currD.vruntime + (e.env.TaskCPUConsumed(rq.curr) - currD.lastConsumed)
+	if newcomer.vruntime+e.params.WakeupGranularity >= currV {
+		return
+	}
+	got, err := e.env.CommitPreempt(rq.id)
+	if err != nil {
+		// The runner completed under us; its TASK_DEAD is in flight.
+		return
+	}
+	e.chargeRuntime(got)
+	e.requeue(rq, got)
+	rq.curr = nil
+	e.pickNext(rq)
+}
+
+// chargeRuntime advances a preempted task's vruntime by the CPU it
+// consumed in the segment that just ended.
+func (e *Engine) chargeRuntime(t *simkern.Task) {
+	d := data(t)
+	d.vruntime += t.CPUConsumed() - d.lastConsumed
+	d.lastConsumed = t.CPUConsumed()
+}
+
+// requeue inserts a preempted task back into rq's tree.
+func (e *Engine) requeue(rq *runqueue, t *simkern.Task) {
+	d := data(t)
+	d.core = rq.id
+	d.node = rq.tree.Insert(queue.Key{Weight: int64(d.vruntime), ID: uint64(t.ID)}, t)
+}
+
+// pickNext dispatches the leftmost task on rq, stealing from the busiest
+// runqueue when rq is empty (idle balance).
+func (e *Engine) pickNext(rq *runqueue) {
+	if rq.tree.Len() == 0 && !e.stealInto(rq) {
+		return
+	}
+	node := rq.tree.Min()
+	t := node.Value.(*simkern.Task)
+	d := data(t)
+	rq.tree.Delete(node)
+	d.node = nil
+	if err := e.env.CommitRun(rq.id, t); err != nil {
+		// Kernel-side race (should not happen in-sim); requeue and bail.
+		e.requeue(rq, t)
+		return
+	}
+	rq.curr = t
+	rq.sliceStart = e.env.Now()
+	d.lastConsumed = t.CPUConsumed()
+	if d.vruntime > rq.minV {
+		rq.minV = d.vruntime
+	}
+}
+
+// stealInto pulls the largest-vruntime task from the busiest other
+// runqueue into rq; it reports whether anything was stolen.
+func (e *Engine) stealInto(rq *runqueue) bool {
+	var busiest *runqueue
+	for _, c := range e.order {
+		other := e.rqs[c]
+		if other == rq || other.tree.Len() == 0 {
+			continue
+		}
+		if busiest == nil || other.tree.Len() > busiest.tree.Len() {
+			busiest = other
+		}
+	}
+	if busiest == nil {
+		return false
+	}
+	node := busiest.tree.Max()
+	t := node.Value.(*simkern.Task)
+	d := data(t)
+	busiest.tree.Delete(node)
+	// Re-base vruntime across queues, as migrate_task_rq_fair does.
+	d.vruntime = d.vruntime - busiest.minV + rq.minV
+	if d.vruntime < 0 {
+		d.vruntime = 0
+	}
+	d.core = rq.id
+	d.node = rq.tree.Insert(queue.Key{Weight: int64(d.vruntime), ID: uint64(t.ID)}, t)
+	return true
+}
+
+// TaskDead handles a completion on core c.
+func (e *Engine) TaskDead(t *simkern.Task, c simkern.CoreID) {
+	rq, ok := e.rqs[c]
+	if !ok {
+		// The core migrated away between completion and message delivery.
+		return
+	}
+	if rq.curr == t {
+		rq.curr = nil
+	}
+	e.pickNext(rq)
+}
+
+// Tick runs the periodic slice check on every core: a runner that used up
+// its slice is preempted in favor of the leftmost queued task. Idle cores
+// attempt a pick (which includes idle balance).
+func (e *Engine) Tick() {
+	now := e.env.Now()
+	for _, c := range e.order {
+		rq := e.rqs[c]
+		if rq.curr == nil {
+			e.pickNext(rq)
+			continue
+		}
+		if rq.tree.Len() == 0 {
+			continue // sole runnable task keeps the core
+		}
+		slice := e.slice(rq)
+		if now-rq.sliceStart < slice {
+			continue
+		}
+		got, err := e.env.CommitPreempt(c)
+		if err != nil {
+			continue // completion in flight
+		}
+		e.chargeRuntime(got)
+		e.requeue(rq, got)
+		rq.curr = nil
+		e.pickNext(rq)
+	}
+}
+
+// slice returns the current time slice for rq's runner.
+func (e *Engine) slice(rq *runqueue) time.Duration {
+	n := rq.nrRunning()
+	if n < 1 {
+		n = 1
+	}
+	s := e.params.SchedLatency / time.Duration(n)
+	if s < e.params.MinGranularity {
+		s = e.params.MinGranularity
+	}
+	return s
+}
+
+// Vruntime exposes a task's current vruntime (tests and debugging).
+func Vruntime(t *simkern.Task) time.Duration {
+	if d, ok := t.PolicyData.(*taskData); ok {
+		return d.vruntime
+	}
+	return 0
+}
+
+// Policy is the standalone ghost.Policy: CFS spanning every enclave core.
+type Policy struct {
+	params Params
+	engine *Engine
+}
+
+var (
+	_ ghost.Policy = (*Policy)(nil)
+	_ ghost.Ticker = (*Policy)(nil)
+)
+
+// New returns a standalone CFS policy.
+func New(params Params) *Policy {
+	return &Policy{params: params.withDefaults()}
+}
+
+// Name implements ghost.Policy.
+func (p *Policy) Name() string { return "cfs" }
+
+// Attach implements ghost.Policy.
+func (p *Policy) Attach(env *ghost.Env) {
+	cores := make([]simkern.CoreID, env.Cores())
+	for i := range cores {
+		cores[i] = simkern.CoreID(i)
+	}
+	p.engine = NewEngine(env, cores, p.params)
+}
+
+// OnMessage implements ghost.Policy.
+func (p *Policy) OnMessage(m ghost.Message) {
+	switch m.Type {
+	case ghost.MsgTaskNew:
+		p.engine.Enqueue(m.Task)
+	case ghost.MsgTaskDead:
+		p.engine.TaskDead(m.Task, m.Core)
+	}
+}
+
+// TickEvery implements ghost.Ticker.
+func (p *Policy) TickEvery() time.Duration { return p.params.Tick }
+
+// OnTick implements ghost.Ticker.
+func (p *Policy) OnTick() { p.engine.Tick() }

@@ -1,0 +1,138 @@
+// Package edf implements Earliest Deadline First scheduling (§III-C):
+// tasks are prioritized by deadline; a newly arriving task with an
+// earlier deadline preempts the running task whose deadline is latest.
+//
+// Serverless functions carry no explicit deadlines, so — as in real-time
+// treatments of FaaS — the policy synthesizes one from the service-demand
+// estimate the platform already has (the calibrated Fibonacci bucket):
+// deadline = arrival + SlackFactor × service demand. With the default
+// factor of 1 the policy behaves like a non-starving shortest-job-biased
+// scheduler, placing it between FIFO and CFS on the Fig 23 cost/latency
+// plane.
+package edf
+
+import (
+	"time"
+
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/queue"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+// Config configures EDF.
+type Config struct {
+	// SlackFactor scales the service demand when synthesizing deadlines;
+	// defaults to 1.0.
+	SlackFactor float64
+}
+
+type taskData struct {
+	deadline time.Duration
+}
+
+func deadlineOf(t *simkern.Task) time.Duration {
+	return t.PolicyData.(*taskData).deadline
+}
+
+// Policy is a standalone EDF ghost.Policy with a centralized deadline
+// queue. Preemption is event-driven (on arrival); no agent tick is needed.
+type Policy struct {
+	cfg   Config
+	env   *ghost.Env
+	h     *queue.Heap[*simkern.Task]
+	cores []simkern.CoreID
+}
+
+var _ ghost.Policy = (*Policy)(nil)
+
+// New returns an EDF policy.
+func New(cfg Config) *Policy {
+	if cfg.SlackFactor <= 0 {
+		cfg.SlackFactor = 1.0
+	}
+	return &Policy{cfg: cfg}
+}
+
+// Name implements ghost.Policy.
+func (p *Policy) Name() string { return "edf" }
+
+// Attach implements ghost.Policy.
+func (p *Policy) Attach(env *ghost.Env) {
+	p.env = env
+	p.h = queue.NewHeap[*simkern.Task](func(a, b *simkern.Task) bool {
+		da, db := deadlineOf(a), deadlineOf(b)
+		if da != db {
+			return da < db
+		}
+		return a.ID < b.ID
+	})
+	p.cores = make([]simkern.CoreID, env.Cores())
+	for i := range p.cores {
+		p.cores[i] = simkern.CoreID(i)
+	}
+}
+
+// OnMessage implements ghost.Policy.
+func (p *Policy) OnMessage(m ghost.Message) {
+	switch m.Type {
+	case ghost.MsgTaskNew:
+		t := m.Task
+		t.PolicyData = &taskData{
+			deadline: t.Arrival + time.Duration(p.cfg.SlackFactor*float64(t.Work)),
+		}
+		p.h.Push(t)
+		p.dispatch()
+		p.maybePreemptFor()
+	case ghost.MsgTaskDead:
+		p.dispatch()
+	}
+}
+
+// dispatch fills idle cores with the earliest-deadline tasks.
+func (p *Policy) dispatch() {
+	for _, c := range p.cores {
+		if p.h.Len() == 0 {
+			return
+		}
+		if p.env.RunningTask(c) != nil {
+			continue
+		}
+		t, _ := p.h.Peek()
+		if err := p.env.CommitRun(c, t); err != nil {
+			continue
+		}
+		p.h.Pop()
+	}
+}
+
+// maybePreemptFor checks whether the earliest queued deadline beats the
+// latest running deadline; if so it preempts that runner (EDF's defining
+// preemption rule).
+func (p *Policy) maybePreemptFor() {
+	next, ok := p.h.Peek()
+	if !ok {
+		return
+	}
+	victim := simkern.NoCore
+	var victimDeadline time.Duration
+	for _, c := range p.cores {
+		t := p.env.RunningTask(c)
+		if t == nil {
+			// An idle core exists; dispatch handles it.
+			return
+		}
+		if d := deadlineOf(t); victim == simkern.NoCore || d > victimDeadline {
+			victim = c
+			victimDeadline = d
+		}
+	}
+	if victim == simkern.NoCore || deadlineOf(next) >= victimDeadline {
+		return
+	}
+	got, err := p.env.CommitPreempt(victim)
+	if err != nil {
+		return
+	}
+	p.h.Push(got)
+	p.dispatch()
+}

@@ -1,0 +1,88 @@
+package edf_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/policy/edf"
+	"github.com/faassched/faassched/internal/policy/policytest"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+func TestAllComplete(t *testing.T) {
+	p := edf.New(edf.Config{})
+	if p.Name() != "edf" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	w := policytest.Mixed(60, time.Millisecond, 10*time.Millisecond, 200*time.Millisecond)
+	policytest.Run(t, 3, p, w)
+}
+
+func TestEarlierDeadlinePreempts(t *testing.T) {
+	// A long task is running; a short task (much earlier deadline) arrives
+	// and must preempt it immediately.
+	w := policytest.Workload{Tasks: []*simkern.Task{
+		{ID: 1, Work: time.Second, MemMB: 128},
+		{ID: 2, Arrival: 100 * time.Millisecond, Work: 5 * time.Millisecond, MemMB: 128},
+	}}
+	k := policytest.Run(t, 1, edf.New(edf.Config{}), w)
+	long, short := k.Tasks()[0], k.Tasks()[1]
+	if long.Preemptions() == 0 {
+		t.Error("long task was not preempted by earlier-deadline arrival")
+	}
+	if resp := short.FirstRun() - short.Arrival; resp > time.Millisecond {
+		t.Errorf("short task response %v, want immediate preemptive dispatch", resp)
+	}
+	if short.Finish() > long.Finish() {
+		t.Error("short task finished after the long task")
+	}
+}
+
+func TestLaterDeadlineDoesNotPreempt(t *testing.T) {
+	// A short task is running; a long task (later deadline) arrives and
+	// must wait.
+	w := policytest.Workload{Tasks: []*simkern.Task{
+		{ID: 1, Work: 50 * time.Millisecond, MemMB: 128},
+		{ID: 2, Arrival: 10 * time.Millisecond, Work: time.Second, MemMB: 128},
+	}}
+	k := policytest.Run(t, 1, edf.New(edf.Config{}), w)
+	short := k.Tasks()[0]
+	if short.Preemptions() != 0 {
+		t.Errorf("running short task preempted %d times by later deadline", short.Preemptions())
+	}
+}
+
+func TestSlackFactorLoosensDeadlines(t *testing.T) {
+	// With a huge slack factor every deadline is far away and relative
+	// order between a short and a long task flips less aggressively; the
+	// policy must still complete everything.
+	p := edf.New(edf.Config{SlackFactor: 100})
+	w := policytest.Mixed(40, time.Millisecond, 10*time.Millisecond, 150*time.Millisecond)
+	policytest.Run(t, 2, p, w)
+}
+
+func TestShortTasksFavoredUnderLoad(t *testing.T) {
+	// With deadline = arrival + demand, EDF behaves shortest-job-biased:
+	// short tasks should see far better mean response than long ones.
+	w := policytest.Mixed(100, time.Millisecond, 5*time.Millisecond, 300*time.Millisecond)
+	k := policytest.Run(t, 2, edf.New(edf.Config{}), w)
+	var shortSum, longSum time.Duration
+	var shortN, longN int
+	for _, task := range k.Tasks() {
+		resp := task.FirstRun() - task.Arrival
+		if task.Work < 100*time.Millisecond {
+			shortSum += resp
+			shortN++
+		} else {
+			longSum += resp
+			longN++
+		}
+	}
+	if shortN == 0 || longN == 0 {
+		t.Fatal("bad workload mix")
+	}
+	if shortSum/time.Duration(shortN) >= longSum/time.Duration(longN) {
+		t.Errorf("short mean response %v not better than long %v",
+			shortSum/time.Duration(shortN), longSum/time.Duration(longN))
+	}
+}

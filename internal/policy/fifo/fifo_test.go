@@ -1,0 +1,117 @@
+package fifo_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/policytest"
+)
+
+func TestPureFIFORunsInArrivalOrder(t *testing.T) {
+	p := fifo.New(fifo.Config{})
+	if p.Name() != "fifo" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	w := policytest.Uniform(20, time.Millisecond, 30*time.Millisecond)
+	k := policytest.Run(t, 1, p, w)
+	// Single core: completion order must equal arrival order, and first-run
+	// times must be non-decreasing in arrival order.
+	var prevFinish time.Duration
+	for _, task := range k.Tasks() {
+		if task.Finish() < prevFinish {
+			t.Fatalf("task %d completed out of order", task.ID)
+		}
+		prevFinish = task.Finish()
+	}
+}
+
+func TestPureFIFONoPreemptions(t *testing.T) {
+	p := fifo.New(fifo.Config{})
+	w := policytest.Mixed(40, time.Millisecond, 5*time.Millisecond, 200*time.Millisecond)
+	k := policytest.Run(t, 2, p, w)
+	if n := policytest.TotalPreemptions(k); n != 0 {
+		t.Errorf("pure FIFO performed %d preemptions, want 0", n)
+	}
+	// Run-to-completion means execution time == service demand (+switch).
+	for _, task := range k.Tasks() {
+		exec := task.Finish() - task.FirstRun()
+		if exec < task.Work || exec > task.Work+time.Millisecond {
+			t.Errorf("task %d exec %v, want ~%v", task.ID, exec, task.Work)
+		}
+	}
+}
+
+func TestQuantumPreemptsLongTasks(t *testing.T) {
+	// One long task ahead of many short ones on one core: with a quantum,
+	// the long task must be preempted and the short ones interleave.
+	p := fifo.New(fifo.Config{Quantum: 100 * time.Millisecond})
+	if p.Name() != "fifo+100ms" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	w := policytest.Workload{}
+	w.Tasks = append(w.Tasks, policytest.Uniform(1, 0, 500*time.Millisecond).Tasks...)
+	short := policytest.Uniform(5, time.Millisecond, 10*time.Millisecond)
+	for i, task := range short.Tasks {
+		task.ID = 100 + task.ID
+		task.Arrival = time.Duration(i+1) * time.Millisecond
+		w.Tasks = append(w.Tasks, task)
+	}
+	k := policytest.Run(t, 1, p, w)
+	long := k.Tasks()[0]
+	if long.Preemptions() == 0 {
+		t.Error("long task was never preempted despite quantum")
+	}
+	// Short tasks must not wait for the long one to finish completely.
+	for _, task := range k.Tasks()[1:] {
+		if task.FirstRun() >= long.Finish() {
+			t.Errorf("short task %d waited for long task completion", task.ID)
+		}
+	}
+}
+
+func TestQuantumImprovesResponseAtExecutionCost(t *testing.T) {
+	// Paper Observation 3: preemption improves response time at the cost
+	// of increased execution time.
+	w := func() policytest.Workload {
+		return policytest.Mixed(60, 2*time.Millisecond, 10*time.Millisecond, 400*time.Millisecond)
+	}
+	plain := policytest.Run(t, 2, fifo.New(fifo.Config{}), w())
+	preempt := policytest.Run(t, 2, fifo.New(fifo.Config{Quantum: 50 * time.Millisecond}), w())
+
+	if policytest.MeanResponse(preempt) >= policytest.MeanResponse(plain) {
+		t.Errorf("quantum did not improve mean response: %v vs %v",
+			policytest.MeanResponse(preempt), policytest.MeanResponse(plain))
+	}
+	if policytest.MeanExecution(preempt) <= policytest.MeanExecution(plain) {
+		t.Errorf("quantum did not increase mean execution: %v vs %v",
+			policytest.MeanExecution(preempt), policytest.MeanExecution(plain))
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	// Paper §II-C: FIFO suffers head-of-line blocking. A long task at the
+	// head delays every short task behind it.
+	p := fifo.New(fifo.Config{})
+	w := policytest.Workload{}
+	w.Tasks = append(w.Tasks, policytest.Uniform(1, 0, time.Second).Tasks...)
+	tail := policytest.Uniform(3, time.Millisecond, time.Millisecond)
+	for i, task := range tail.Tasks {
+		task.ID = 10 + task.ID
+		task.Arrival = time.Duration(i+1) * time.Millisecond
+		w.Tasks = append(w.Tasks, task)
+	}
+	k := policytest.Run(t, 1, p, w)
+	for _, task := range k.Tasks()[1:] {
+		if resp := task.FirstRun() - task.Arrival; resp < 900*time.Millisecond {
+			t.Errorf("task %d response %v, expected head-of-line blocking ~1s", task.ID, resp)
+		}
+	}
+}
+
+func TestEngineCoreMembership(t *testing.T) {
+	// AddCore/RemoveCore drive the hybrid's rightsizing; verify bookkeeping.
+	p := fifo.New(fifo.Config{})
+	w := policytest.Uniform(4, time.Millisecond, 10*time.Millisecond)
+	policytest.Run(t, 2, p, w)
+}

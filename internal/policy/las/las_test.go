@@ -1,0 +1,84 @@
+package las_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/las"
+	"github.com/faassched/faassched/internal/policy/policytest"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+func TestAllComplete(t *testing.T) {
+	p := las.New(las.Config{})
+	if p.Name() != "las" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	w := policytest.Mixed(80, time.Millisecond, 10*time.Millisecond, 200*time.Millisecond)
+	policytest.Run(t, 3, p, w)
+}
+
+func TestFreshArrivalPreemptsMostAttained(t *testing.T) {
+	// A long-running task (high attained service) must yield to a fresh
+	// arrival without waiting for a tick.
+	p := las.New(las.Config{Quantum: time.Millisecond, Tick: time.Hour})
+	w := policytest.Workload{Tasks: []*simkern.Task{
+		{ID: 1, Work: 500 * time.Millisecond, MemMB: 128},
+		{ID: 2, Arrival: 100 * time.Millisecond, Work: 5 * time.Millisecond, MemMB: 128},
+	}}
+	k := policytest.Run(t, 1, p, w)
+	short := k.Tasks()[1]
+	if resp := short.FirstRun() - short.Arrival; resp > time.Millisecond {
+		t.Errorf("short-task response %v, want immediate LAS preemption", resp)
+	}
+	if k.Tasks()[0].Preemptions() == 0 {
+		t.Error("high-attainment runner never preempted")
+	}
+}
+
+func TestShortTasksFinishAtDemandSpeed(t *testing.T) {
+	// LAS's defining FaaS property: short tasks cut ahead of long ones, so
+	// their execution time stays near their demand even under load.
+	p := las.New(las.Config{})
+	w := policytest.Mixed(60, time.Millisecond, 5*time.Millisecond, 300*time.Millisecond)
+	k := policytest.Run(t, 2, p, w)
+	for _, task := range k.Tasks() {
+		if task.Work > 100*time.Millisecond {
+			continue
+		}
+		if exec := task.Finish() - task.FirstRun(); exec > 3*task.Work+10*time.Millisecond {
+			t.Errorf("short task %d exec %v for demand %v", task.ID, exec, task.Work)
+		}
+	}
+}
+
+func TestLongTasksConvergeToRoundRobin(t *testing.T) {
+	// Equal tasks started together attain service in lock-step and finish
+	// close together.
+	p := las.New(las.Config{Quantum: 5 * time.Millisecond})
+	w := policytest.Uniform(3, 0, 90*time.Millisecond)
+	k := policytest.Run(t, 1, p, w)
+	first := k.Tasks()[0].Finish()
+	for _, task := range k.Tasks() {
+		gap := task.Finish() - first
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > 30*time.Millisecond {
+			t.Errorf("task %d finish gap %v, want lock-step", task.ID, gap)
+		}
+	}
+}
+
+func TestBeatsFIFOOnResponseUnderLoad(t *testing.T) {
+	w := func() policytest.Workload {
+		return policytest.Mixed(100, time.Millisecond, 5*time.Millisecond, 250*time.Millisecond)
+	}
+	kL := policytest.Run(t, 2, las.New(las.Config{}), w())
+	kF := policytest.Run(t, 2, fifo.New(fifo.Config{}), w())
+	if policytest.MeanResponse(kL) >= policytest.MeanResponse(kF) {
+		t.Errorf("LAS mean response %v should beat FIFO %v",
+			policytest.MeanResponse(kL), policytest.MeanResponse(kF))
+	}
+}

@@ -1,0 +1,220 @@
+package policytest_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/core"
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/policy/cfs"
+	"github.com/faassched/faassched/internal/policy/edf"
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/las"
+	"github.com/faassched/faassched/internal/policy/policytest"
+	"github.com/faassched/faassched/internal/policy/rr"
+	"github.com/faassched/faassched/internal/policy/shinjuku"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+// factories returns every scheduler the repository implements, including
+// the hybrid in its three configurations.
+func factories() map[string]func() ghost.Policy {
+	return map[string]func() ghost.Policy{
+		"fifo":     func() ghost.Policy { return fifo.New(fifo.Config{}) },
+		"fifo100":  func() ghost.Policy { return fifo.New(fifo.Config{Quantum: 100 * time.Millisecond}) },
+		"cfs":      func() ghost.Policy { return cfs.New(cfs.Params{}) },
+		"rr":       func() ghost.Policy { return rr.New(rr.Config{}) },
+		"edf":      func() ghost.Policy { return edf.New(edf.Config{}) },
+		"shinjuku": func() ghost.Policy { return shinjuku.New(shinjuku.Config{}) },
+		"las":      func() ghost.Policy { return las.New(las.Config{}) },
+		"hybrid": func() ghost.Policy {
+			return core.New(core.Config{
+				FIFOCores: 2,
+				TimeLimit: core.TimeLimitConfig{Static: 100 * time.Millisecond},
+			})
+		},
+		"hybrid-adaptive": func() ghost.Policy {
+			return core.New(core.Config{
+				FIFOCores: 2,
+				TimeLimit: core.TimeLimitConfig{Static: 100 * time.Millisecond, Percentile: 0.9},
+			})
+		},
+		"hybrid-rightsized": func() ghost.Policy {
+			return core.New(core.Config{
+				FIFOCores:    2,
+				TimeLimit:    core.TimeLimitConfig{Static: 100 * time.Millisecond},
+				MonitorEvery: 50 * time.Millisecond,
+				Rightsize: core.RightsizeConfig{
+					Enabled:  true,
+					Cooldown: 100 * time.Millisecond,
+				},
+			})
+		},
+	}
+}
+
+// randomWorkload builds a seeded bursty workload with a heavy tail — the
+// adversarial shape for scheduling invariants.
+func randomWorkload(seed int64, n int) policytest.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := policytest.Workload{Tasks: make([]*simkern.Task, 0, n)}
+	arrival := time.Duration(0)
+	for i := 0; i < n; i++ {
+		// Bursty arrivals: 20% chance of zero gap, else up to 4ms.
+		if rng.Intn(5) > 0 {
+			arrival += time.Duration(rng.Intn(4000)) * time.Microsecond
+		}
+		work := time.Duration(1+rng.Intn(30)) * time.Millisecond
+		if rng.Intn(10) == 0 { // heavy tail
+			work = time.Duration(200+rng.Intn(800)) * time.Millisecond
+		}
+		w.Tasks = append(w.Tasks, &simkern.Task{
+			ID:      simkern.TaskID(i + 1),
+			Kind:    simkern.KindFunction,
+			Arrival: arrival,
+			Work:    work,
+			MemMB:   128,
+		})
+	}
+	return w
+}
+
+// TestEverySchedulerUpholdsInvariants runs every policy over several
+// seeded random workloads and checks the core invariants: every task
+// completes exactly once, timestamps are ordered, and work is conserved.
+func TestEverySchedulerUpholdsInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for name, mk := range factories() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				w := randomWorkload(seed, 150)
+				policytest.Run(t, 4, mk(), w)
+			}
+		})
+	}
+}
+
+// TestSchedulersDeterministic runs each policy twice on the same workload
+// and requires bit-identical finish times — the simulator's reproducibility
+// guarantee.
+func TestSchedulersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for name, mk := range factories() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			k1 := policytest.Run(t, 4, mk(), randomWorkload(7, 120))
+			k2 := policytest.Run(t, 4, mk(), randomWorkload(7, 120))
+			t1, t2 := k1.Tasks(), k2.Tasks()
+			if len(t1) != len(t2) {
+				t.Fatal("task count mismatch")
+			}
+			for i := range t1 {
+				if t1[i].Finish() != t2[i].Finish() || t1[i].FirstRun() != t2[i].FirstRun() {
+					t.Fatalf("task %d nondeterministic: run1 (%v,%v) run2 (%v,%v)",
+						t1[i].ID, t1[i].FirstRun(), t1[i].Finish(), t2[i].FirstRun(), t2[i].Finish())
+				}
+				if t1[i].Preemptions() != t2[i].Preemptions() {
+					t.Fatalf("task %d preemption count nondeterministic", t1[i].ID)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulersSurviveSimultaneousArrivals hits every policy with one
+// degenerate burst: many tasks arriving at t=0.
+func TestSchedulersSurviveSimultaneousArrivals(t *testing.T) {
+	for name, mk := range factories() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			w := policytest.Workload{}
+			for i := 0; i < 60; i++ {
+				work := 10 * time.Millisecond
+				if i%6 == 0 {
+					work = 300 * time.Millisecond
+				}
+				w.Tasks = append(w.Tasks, &simkern.Task{
+					ID: simkern.TaskID(i + 1), Work: work, MemMB: 128,
+				})
+			}
+			policytest.Run(t, 3, mk(), w)
+		})
+	}
+}
+
+// TestSchedulersUnderDelegationLatency re-runs the invariants with
+// realistic (and exaggerated) ghOSt message latencies. Latency opens the
+// race window where a policy acts on stale state and its transaction
+// fails — every policy must absorb those failures without losing tasks.
+func TestSchedulersUnderDelegationLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, latency := range []time.Duration{2 * time.Microsecond, 500 * time.Microsecond} {
+		for name, mk := range factories() {
+			name, mk, latency := name, mk, latency
+			t.Run(name+"@"+latency.String(), func(t *testing.T) {
+				w := randomWorkload(5, 120)
+				policytest.RunWithLatency(t, 4, mk(), w, latency)
+			})
+		}
+	}
+}
+
+// TestSchedulersHandleSingleTask checks the trivial boundary.
+func TestSchedulersHandleSingleTask(t *testing.T) {
+	for name, mk := range factories() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			w := policytest.Workload{Tasks: []*simkern.Task{
+				{ID: 1, Work: 50 * time.Millisecond, MemMB: 128},
+			}}
+			k := policytest.Run(t, 3, mk(), w)
+			task := k.Tasks()[0]
+			// Alone on the machine, no policy may stretch the task by more
+			// than scheduling overhead.
+			exec := task.Finish() - task.FirstRun()
+			if exec > 60*time.Millisecond {
+				t.Errorf("solo task exec %v, want ~50ms", exec)
+			}
+		})
+	}
+}
+
+// TestWorkConservationUnderLoad: no policy may leave a core idle while
+// tasks are runnable for macroscopic stretches. We approximate by checking
+// total busy time ≥ total demand (already in AssertAllFinished) and that
+// makespan is within 3x of the ideal lower bound.
+func TestMakespanNearIdealBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for name, mk := range factories() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			w := randomWorkload(11, 200)
+			var total time.Duration
+			var lastArrival time.Duration
+			for _, task := range w.Tasks {
+				total += task.Work
+				if task.Arrival > lastArrival {
+					lastArrival = task.Arrival
+				}
+			}
+			k := policytest.Run(t, 4, mk(), w)
+			ideal := lastArrival
+			if lb := total / 4; lb > ideal {
+				ideal = lb
+			}
+			if k.Makespan() > 3*ideal {
+				t.Errorf("makespan %v > 3x ideal bound %v", k.Makespan(), ideal)
+			}
+		})
+	}
+}

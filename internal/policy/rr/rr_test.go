@@ -1,0 +1,56 @@
+package rr_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/policy/policytest"
+	"github.com/faassched/faassched/internal/policy/rr"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+func TestAllComplete(t *testing.T) {
+	p := rr.New(rr.Config{})
+	if p.Name() != "rr" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	w := policytest.Mixed(60, time.Millisecond, 10*time.Millisecond, 150*time.Millisecond)
+	policytest.Run(t, 3, p, w)
+}
+
+func TestRotationAtQuantum(t *testing.T) {
+	p := rr.New(rr.Config{Quantum: 10 * time.Millisecond})
+	w := policytest.Uniform(3, 0, 50*time.Millisecond)
+	k := policytest.Run(t, 1, p, w)
+	// Each 50ms task should be preempted roughly 50/10 − 1 = 4 times as the
+	// three tasks rotate.
+	for _, task := range k.Tasks() {
+		if task.Preemptions() < 2 {
+			t.Errorf("task %d preempted %d times, want rotation", task.ID, task.Preemptions())
+		}
+	}
+	// Fairness: completions cluster at the end.
+	first := k.Tasks()[0].Finish()
+	for _, task := range k.Tasks() {
+		gap := task.Finish() - first
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > 30*time.Millisecond {
+			t.Errorf("task %d finish gap %v, want fair rotation", task.ID, gap)
+		}
+	}
+}
+
+func TestShortTaskNotStuckBehindLong(t *testing.T) {
+	p := rr.New(rr.Config{Quantum: 20 * time.Millisecond})
+	w := policytest.Workload{Tasks: []*simkern.Task{
+		{ID: 1, Work: 500 * time.Millisecond, MemMB: 128},
+		{ID: 2, Arrival: time.Millisecond, Work: 5 * time.Millisecond, MemMB: 128},
+	}}
+	k := policytest.Run(t, 1, p, w)
+	short := k.Tasks()[1]
+	if resp := short.FirstRun() - short.Arrival; resp > 25*time.Millisecond {
+		t.Errorf("short task response %v, want <= one quantum", resp)
+	}
+}

@@ -1,0 +1,78 @@
+package shinjuku_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/policytest"
+	"github.com/faassched/faassched/internal/policy/shinjuku"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+func TestAllComplete(t *testing.T) {
+	p := shinjuku.New(shinjuku.Config{})
+	if p.Name() != "shinjuku" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	w := policytest.Mixed(60, time.Millisecond, 10*time.Millisecond, 150*time.Millisecond)
+	policytest.Run(t, 3, p, w)
+}
+
+func TestArrivalPreemptsOverQuantumRunner(t *testing.T) {
+	// A runner past its quantum is displaced as soon as a task arrives,
+	// without waiting for a tick — the centralized-dispatcher advantage.
+	p := shinjuku.New(shinjuku.Config{Quantum: time.Millisecond, Tick: time.Hour})
+	w := policytest.Workload{Tasks: []*simkern.Task{
+		{ID: 1, Work: 500 * time.Millisecond, MemMB: 128},
+		{ID: 2, Arrival: 100 * time.Millisecond, Work: 2 * time.Millisecond, MemMB: 128},
+	}}
+	k := policytest.Run(t, 1, p, w)
+	late := k.Tasks()[1]
+	if resp := late.FirstRun() - late.Arrival; resp > time.Millisecond {
+		t.Errorf("response %v, want immediate displacement of over-quantum runner", resp)
+	}
+	if k.Tasks()[0].Preemptions() == 0 {
+		t.Error("over-quantum runner was never preempted")
+	}
+}
+
+func TestTailLatencyBeatsFIFOUnderLoad(t *testing.T) {
+	// The headline Shinjuku property at our abstraction level: p99-ish
+	// response under a short/long mix beats run-to-completion FIFO.
+	w := func() policytest.Workload {
+		return policytest.Mixed(120, time.Millisecond, 5*time.Millisecond, 250*time.Millisecond)
+	}
+	kS := policytest.Run(t, 2, shinjuku.New(shinjuku.Config{}), w())
+	kF := policytest.Run(t, 2, fifo.New(fifo.Config{}), w())
+	worst := func(k interface {
+		Tasks() []*simkern.Task
+	}) time.Duration {
+		var m time.Duration
+		for _, task := range k.Tasks() {
+			if r := task.FirstRun() - task.Arrival; r > m {
+				m = r
+			}
+		}
+		return m
+	}
+	if worst(kS) >= worst(kF) {
+		t.Errorf("shinjuku worst response %v should beat FIFO %v", worst(kS), worst(kF))
+	}
+}
+
+func TestQuantumRotationSharesCore(t *testing.T) {
+	// Two long tasks on one core rotate at the quantum, so both make
+	// progress and finish close together.
+	p := shinjuku.New(shinjuku.Config{Quantum: 5 * time.Millisecond})
+	w := policytest.Uniform(2, 0, 100*time.Millisecond)
+	k := policytest.Run(t, 1, p, w)
+	a, b := k.Tasks()[0], k.Tasks()[1]
+	gap := a.Finish() - b.Finish()
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 20*time.Millisecond {
+		t.Errorf("completion gap %v, want tight rotation", gap)
+	}
+}

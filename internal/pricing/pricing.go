@@ -1,0 +1,167 @@
+// Package pricing implements the AWS Lambda billing model the paper uses
+// for every cost figure (Figs 1, 20, 22 and Table I): wall-clock execution
+// duration billed per millisecond at a rate proportional to the memory
+// size allocated to the function, plus a flat per-request charge.
+//
+// It also provides the Azure-trace-calibrated memory-size distribution the
+// paper uses for Table I's "overall cost according to the memory size
+// distribution of the Azure traces".
+package pricing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tariff is a Lambda-style price list.
+type Tariff struct {
+	// PerGBSecondUSD is the compute price per GB-second.
+	PerGBSecondUSD float64
+	// PerRequestUSD is the flat per-invocation charge.
+	PerRequestUSD float64
+}
+
+// Default returns the published AWS Lambda x86 on-demand tariff the paper
+// cites: $0.0000166667 per GB-second and $0.20 per million requests.
+func Default() Tariff {
+	return Tariff{
+		PerGBSecondUSD: 0.0000166667,
+		PerRequestUSD:  0.20 / 1e6,
+	}
+}
+
+// StandardMemorySizesMB lists the memory sizes AWS publishes per-ms prices
+// for; the cost-vs-memory figures sweep these.
+var StandardMemorySizesMB = []int{128, 512, 1024, 1536, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240}
+
+// PerMsUSD returns the compute price of one billed millisecond at the
+// given memory size.
+func (t Tariff) PerMsUSD(memMB int) float64 {
+	gb := float64(memMB) / 1024.0
+	return t.PerGBSecondUSD * gb / 1000.0
+}
+
+// ComputeCost returns the compute-only cost of a billed duration at the
+// given memory size. AWS bills wall-clock duration rounded up to the next
+// millisecond.
+func (t Tariff) ComputeCost(billed time.Duration, memMB int) float64 {
+	if billed <= 0 {
+		return 0
+	}
+	ms := float64(billed.Milliseconds())
+	if billed%time.Millisecond != 0 {
+		ms++
+	}
+	return ms * t.PerMsUSD(memMB)
+}
+
+// InvocationCost is ComputeCost plus the per-request charge.
+func (t Tariff) InvocationCost(billed time.Duration, memMB int) float64 {
+	return t.ComputeCost(billed, memMB) + t.PerRequestUSD
+}
+
+// Validate reports an error for non-positive prices.
+func (t Tariff) Validate() error {
+	if t.PerGBSecondUSD <= 0 {
+		return fmt.Errorf("pricing: PerGBSecondUSD must be positive, got %v", t.PerGBSecondUSD)
+	}
+	if t.PerRequestUSD < 0 {
+		return fmt.Errorf("pricing: PerRequestUSD must be >= 0, got %v", t.PerRequestUSD)
+	}
+	return nil
+}
+
+// MemoryBucket is one entry of a discrete memory-size distribution.
+type MemoryBucket struct {
+	MemMB  int
+	Weight float64
+}
+
+// MemoryDist is a discrete distribution over allocated memory sizes.
+type MemoryDist struct {
+	buckets []MemoryBucket
+	cum     []float64 // normalized cumulative weights
+}
+
+// AzureMemoryDist returns a distribution calibrated to the published Azure
+// statistics the paper relies on ("more than 90% of functions allocate
+// virtual memory less than 400MB"): ~91% of invocations at or below
+// 384 MB, with a thin tail of larger sizes.
+func AzureMemoryDist() MemoryDist {
+	d, err := NewMemoryDist([]MemoryBucket{
+		{MemMB: 128, Weight: 0.44},
+		{MemMB: 256, Weight: 0.30},
+		{MemMB: 384, Weight: 0.17},
+		{MemMB: 512, Weight: 0.05},
+		{MemMB: 1024, Weight: 0.025},
+		{MemMB: 2048, Weight: 0.010},
+		{MemMB: 4096, Weight: 0.004},
+		{MemMB: 10240, Weight: 0.001},
+	})
+	if err != nil {
+		panic(err) // static table; unreachable
+	}
+	return d
+}
+
+// NewMemoryDist validates and normalizes a bucket list.
+func NewMemoryDist(buckets []MemoryBucket) (MemoryDist, error) {
+	if len(buckets) == 0 {
+		return MemoryDist{}, fmt.Errorf("pricing: empty memory distribution")
+	}
+	total := 0.0
+	bs := make([]MemoryBucket, len(buckets))
+	copy(bs, buckets)
+	sort.Slice(bs, func(i, j int) bool { return bs[i].MemMB < bs[j].MemMB })
+	for _, b := range bs {
+		if b.MemMB <= 0 {
+			return MemoryDist{}, fmt.Errorf("pricing: non-positive memory size %d", b.MemMB)
+		}
+		if b.Weight <= 0 {
+			return MemoryDist{}, fmt.Errorf("pricing: non-positive weight for %dMB", b.MemMB)
+		}
+		total += b.Weight
+	}
+	cum := make([]float64, len(bs))
+	run := 0.0
+	for i, b := range bs {
+		run += b.Weight / total
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1.0 // guard against rounding
+	return MemoryDist{buckets: bs, cum: cum}, nil
+}
+
+// Buckets returns the normalized buckets in ascending memory order.
+func (d MemoryDist) Buckets() []MemoryBucket {
+	out := make([]MemoryBucket, len(d.buckets))
+	copy(out, d.buckets)
+	return out
+}
+
+// Sample draws a memory size using rng.
+func (d MemoryDist) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.buckets) {
+		i = len(d.buckets) - 1
+	}
+	return d.buckets[i].MemMB
+}
+
+// FractionAtOrBelow returns the probability mass at or below memMB.
+func (d MemoryDist) FractionAtOrBelow(memMB int) float64 {
+	frac := 0.0
+	total := 0.0
+	for _, b := range d.buckets {
+		total += b.Weight
+	}
+	for _, b := range d.buckets {
+		if b.MemMB <= memMB {
+			frac += b.Weight / total
+		}
+	}
+	return frac
+}

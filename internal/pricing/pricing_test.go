@@ -1,0 +1,134 @@
+package pricing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDefaultTariffMatchesPublishedTable(t *testing.T) {
+	// AWS publishes per-1ms prices; check a few against PerMsUSD.
+	tariff := Default()
+	if err := tariff.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{
+		128:   0.0000000021,
+		512:   0.0000000083,
+		1024:  0.0000000167,
+		2048:  0.0000000333,
+		10240: 0.0000001667,
+	}
+	for mem, price := range want {
+		got := tariff.PerMsUSD(mem)
+		if math.Abs(got-price)/price > 0.02 {
+			t.Errorf("PerMsUSD(%d) = %.10f, want ~%.10f", mem, got, price)
+		}
+	}
+}
+
+func TestPerMsScalesLinearlyWithMemory(t *testing.T) {
+	tariff := Default()
+	r := tariff.PerMsUSD(2048) / tariff.PerMsUSD(1024)
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("price ratio 2048/1024 = %v, want 2", r)
+	}
+}
+
+func TestComputeCostRoundsUpToMs(t *testing.T) {
+	tariff := Default()
+	per := tariff.PerMsUSD(1024)
+	if got := tariff.ComputeCost(time.Millisecond, 1024); math.Abs(got-per) > 1e-15 {
+		t.Errorf("1ms cost = %v, want %v", got, per)
+	}
+	// 1.2ms bills as 2ms.
+	if got := tariff.ComputeCost(1200*time.Microsecond, 1024); math.Abs(got-2*per) > 1e-15 {
+		t.Errorf("1.2ms cost = %v, want %v", got, 2*per)
+	}
+	if got := tariff.ComputeCost(0, 1024); got != 0 {
+		t.Errorf("zero duration cost = %v", got)
+	}
+	if got := tariff.ComputeCost(-time.Second, 1024); got != 0 {
+		t.Errorf("negative duration cost = %v", got)
+	}
+}
+
+func TestInvocationCostAddsRequestCharge(t *testing.T) {
+	tariff := Default()
+	diff := tariff.InvocationCost(time.Millisecond, 128) - tariff.ComputeCost(time.Millisecond, 128)
+	if math.Abs(diff-tariff.PerRequestUSD) > 1e-18 {
+		t.Errorf("request charge = %v, want %v", diff, tariff.PerRequestUSD)
+	}
+}
+
+func TestTariffValidate(t *testing.T) {
+	for _, bad := range []Tariff{
+		{PerGBSecondUSD: 0, PerRequestUSD: 0},
+		{PerGBSecondUSD: -1, PerRequestUSD: 0},
+		{PerGBSecondUSD: 1, PerRequestUSD: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) passed", bad)
+		}
+	}
+}
+
+func TestAzureMemoryDistShape(t *testing.T) {
+	d := AzureMemoryDist()
+	// The paper cites >90% of functions below 400MB.
+	if frac := d.FractionAtOrBelow(384); frac < 0.88 || frac > 0.95 {
+		t.Errorf("fraction <= 384MB = %v, want ~0.91", frac)
+	}
+	if frac := d.FractionAtOrBelow(10240); math.Abs(frac-1) > 1e-9 {
+		t.Errorf("total mass = %v", frac)
+	}
+	if frac := d.FractionAtOrBelow(0); frac != 0 {
+		t.Errorf("mass below 0 = %v", frac)
+	}
+}
+
+func TestMemoryDistSampleMatchesWeights(t *testing.T) {
+	d := AzureMemoryDist()
+	rng := rand.New(rand.NewSource(11))
+	const n = 200000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	for _, b := range d.Buckets() {
+		got := float64(counts[b.MemMB]) / n
+		if math.Abs(got-b.Weight) > 0.01 {
+			t.Errorf("sampled frequency of %dMB = %v, want %v", b.MemMB, got, b.Weight)
+		}
+	}
+}
+
+func TestNewMemoryDistValidation(t *testing.T) {
+	if _, err := NewMemoryDist(nil); err == nil {
+		t.Error("empty dist accepted")
+	}
+	if _, err := NewMemoryDist([]MemoryBucket{{MemMB: 0, Weight: 1}}); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if _, err := NewMemoryDist([]MemoryBucket{{MemMB: 128, Weight: 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestNewMemoryDistNormalizes(t *testing.T) {
+	d, err := NewMemoryDist([]MemoryBucket{
+		{MemMB: 256, Weight: 3},
+		{MemMB: 128, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := d.Buckets()
+	if bs[0].MemMB != 128 || bs[1].MemMB != 256 {
+		t.Errorf("buckets not sorted: %+v", bs)
+	}
+	if got := d.FractionAtOrBelow(128); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("128MB mass = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package queue provides the scheduling data structures used across the
+// simulator: a growable ring-buffer deque (FIFO/RR global queues), a
+// red-black tree keyed by (weight, id) (CFS vruntime runqueues), and a
+// generic binary heap (event loops, EDF deadline queues).
+package queue
+
+// Deque is a double-ended queue backed by a growable ring buffer.
+// The zero value is an empty deque ready to use.
+//
+// FIFO policies use PushBack/PopFront; preempting FIFO variants re-enqueue
+// expired tasks with PushBack (the paper moves preempted tasks "to the end
+// of the queue").
+type Deque[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return d.n }
+
+// PushBack appends v at the tail.
+func (d *Deque[T]) PushBack(v T) {
+	d.grow()
+	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.n++
+}
+
+// PushFront prepends v at the head.
+func (d *Deque[T]) PushFront(v T) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.n++
+}
+
+// PopFront removes and returns the head element; ok is false when empty.
+func (d *Deque[T]) PopFront() (v T, ok bool) {
+	if d.n == 0 {
+		return v, false
+	}
+	v = d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero // release reference for GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return v, true
+}
+
+// PopBack removes and returns the tail element; ok is false when empty.
+func (d *Deque[T]) PopBack() (v T, ok bool) {
+	if d.n == 0 {
+		return v, false
+	}
+	i := (d.head + d.n - 1) % len(d.buf)
+	v = d.buf[i]
+	var zero T
+	d.buf[i] = zero
+	d.n--
+	return v, true
+}
+
+// Front returns the head element without removing it.
+func (d *Deque[T]) Front() (v T, ok bool) {
+	if d.n == 0 {
+		return v, false
+	}
+	return d.buf[d.head], true
+}
+
+// Back returns the tail element without removing it.
+func (d *Deque[T]) Back() (v T, ok bool) {
+	if d.n == 0 {
+		return v, false
+	}
+	return d.buf[(d.head+d.n-1)%len(d.buf)], true
+}
+
+// Drain removes all elements and returns them head-to-tail. Used by the
+// hybrid scheduler's core-migration protocol to redistribute a queue.
+func (d *Deque[T]) Drain() []T {
+	out := make([]T, 0, d.n)
+	for {
+		v, ok := d.PopFront()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func (d *Deque[T]) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	newCap := len(d.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}

@@ -1,0 +1,145 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeZeroValue(t *testing.T) {
+	var d Deque[int]
+	if d.Len() != 0 {
+		t.Fatalf("zero deque Len = %d", d.Len())
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Error("PopFront on empty should fail")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Error("PopBack on empty should fail")
+	}
+	if _, ok := d.Front(); ok {
+		t.Error("Front on empty should fail")
+	}
+	if _, ok := d.Back(); ok {
+		t.Error("Back on empty should fail")
+	}
+}
+
+func TestDequeFIFOOrder(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDequePushFront(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("b")
+	d.PushFront("a")
+	d.PushBack("c")
+	if f, _ := d.Front(); f != "a" {
+		t.Errorf("Front = %q, want a", f)
+	}
+	if b, _ := d.Back(); b != "c" {
+		t.Errorf("Back = %q, want c", b)
+	}
+	got := d.Drain()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Drain = %v", got)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len after Drain = %d", d.Len())
+	}
+}
+
+func TestDequeWrapAroundGrowth(t *testing.T) {
+	var d Deque[int]
+	// Force head to rotate before growth so the copy path is exercised.
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 4; i++ {
+		d.PopFront()
+	}
+	for i := 6; i < 30; i++ {
+		d.PushBack(i)
+	}
+	want := 4
+	for d.Len() > 0 {
+		v, _ := d.PopFront()
+		if v != want {
+			t.Fatalf("got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != 30 {
+		t.Fatalf("drained up to %d, want 30", want)
+	}
+}
+
+// opsModel applies a random op sequence to Deque and a slice reference and
+// compares results. Op encoding: 0=PushBack 1=PushFront 2=PopFront 3=PopBack.
+func TestDequeMatchesReferenceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var d Deque[int]
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				d.PushBack(next)
+				ref = append(ref, next)
+				next++
+			case 1:
+				d.PushFront(next)
+				ref = append([]int{next}, ref...)
+				next++
+			case 2:
+				v, ok := d.PopFront()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			case 3:
+				v, ok := d.PopBack()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != ref[len(ref)-1] {
+						return false
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+			if d.Len() != len(ref) {
+				return false
+			}
+		}
+		got := d.Drain()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

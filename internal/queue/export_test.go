@@ -1,0 +1,4 @@
+package queue
+
+// CheckInvariants exposes the red-black invariant checker to tests.
+func (t *RBTree) CheckInvariants() int { return t.checkInvariants() }

@@ -1,0 +1,106 @@
+package queue
+
+// Heap is a generic binary min-heap ordered by the less function supplied
+// at construction. It backs the simulator's event loop and the EDF policy's
+// deadline queue. The zero value is not usable; construct with NewHeap.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	if less == nil {
+		panic("queue: NewHeap requires a less function")
+	}
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push adds v to the heap.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element; ok is false when empty.
+func (h *Heap[T]) Pop() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	v = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+// Peek returns the minimum element without removing it.
+func (h *Heap[T]) Peek() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.items[0], true
+}
+
+// Filter removes every element for which keep returns false, preserving
+// heap order, and returns the number removed. O(n) plus re-heapify; used
+// for cancelling pending work (e.g. removing a queued task on migration).
+func (h *Heap[T]) Filter(keep func(T) bool) int {
+	kept := h.items[:0]
+	removed := 0
+	for _, v := range h.items {
+		if keep(v) {
+			kept = append(kept, v)
+		} else {
+			removed++
+		}
+	}
+	// Zero the tail so removed references can be collected.
+	var zero T
+	for i := len(kept); i < len(h.items); i++ {
+		h.items[i] = zero
+	}
+	h.items = kept
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return removed
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

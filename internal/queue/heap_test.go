@@ -1,0 +1,132 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return NewHeap[int](func(a, b int) bool { return a < b })
+}
+
+func TestHeapNilLessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHeap(nil) did not panic")
+		}
+	}()
+	NewHeap[int](nil)
+}
+
+func TestHeapEmpty(t *testing.T) {
+	h := intHeap()
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty should fail")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty should fail")
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7} {
+		h.Push(v)
+	}
+	if v, _ := h.Peek(); v != 1 {
+		t.Errorf("Peek = %d, want 1", v)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for _, w := range want {
+		v, ok := h.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, w)
+		}
+	}
+}
+
+func TestHeapFilter(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 20; i++ {
+		h.Push(i)
+	}
+	removed := h.Filter(func(v int) bool { return v%2 == 0 })
+	if removed != 10 {
+		t.Fatalf("removed %d, want 10", removed)
+	}
+	prev := -1
+	for h.Len() > 0 {
+		v, _ := h.Pop()
+		if v%2 != 0 {
+			t.Fatalf("odd value %d survived filter", v)
+		}
+		if v <= prev {
+			t.Fatalf("heap order broken: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+// Property: popping everything yields a sorted permutation of the input.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(v)
+		}
+		got := make([]int, 0, len(vals))
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		want := append([]int{}, vals...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved push/pop maintains the min-heap invariant.
+func TestHeapInterleavedProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		h := intHeap()
+		var ref []int
+		for _, o := range ops {
+			if o >= 0 {
+				h.Push(int(o))
+				ref = append(ref, int(o))
+				sort.Ints(ref)
+			} else {
+				v, ok := h.Pop()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		return h.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

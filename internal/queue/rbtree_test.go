@@ -1,0 +1,174 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRBTreeEmpty(t *testing.T) {
+	var tr RBTree
+	if tr.Len() != 0 || tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("zero tree not empty")
+	}
+	tr.CheckInvariants()
+}
+
+func TestRBTreeInsertMinMax(t *testing.T) {
+	var tr RBTree
+	keys := []int64{50, 20, 80, 10, 30, 70, 90}
+	for i, w := range keys {
+		tr.Insert(Key{Weight: w, ID: uint64(i)}, w)
+		tr.CheckInvariants()
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	if tr.Min().Key.Weight != 10 {
+		t.Errorf("Min = %d, want 10", tr.Min().Key.Weight)
+	}
+	if tr.Max().Key.Weight != 90 {
+		t.Errorf("Max = %d, want 90", tr.Max().Key.Weight)
+	}
+}
+
+func TestRBTreeDuplicatePanics(t *testing.T) {
+	var tr RBTree
+	tr.Insert(Key{Weight: 1, ID: 1}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	tr.Insert(Key{Weight: 1, ID: 1}, nil)
+}
+
+func TestRBTreeTiebreakByID(t *testing.T) {
+	var tr RBTree
+	tr.Insert(Key{Weight: 5, ID: 2}, "b")
+	tr.Insert(Key{Weight: 5, ID: 1}, "a")
+	tr.Insert(Key{Weight: 5, ID: 3}, "c")
+	var got []string
+	tr.InOrder(func(n *Node) bool {
+		got = append(got, n.Value.(string))
+		return true
+	})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("InOrder = %v, want [a b c]", got)
+	}
+}
+
+func TestRBTreeDeleteAllPermutations(t *testing.T) {
+	// Exhaustively delete in several orders to hit fixup branches.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var tr RBTree
+		const n = 40
+		nodes := make([]*Node, 0, n)
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, tr.Insert(Key{Weight: int64(rng.Intn(15)), ID: uint64(i)}, i))
+		}
+		rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+		for i, nd := range nodes {
+			tr.Delete(nd)
+			tr.CheckInvariants()
+			if tr.Len() != n-i-1 {
+				t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+			}
+		}
+		if tr.Min() != nil {
+			t.Fatal("tree not empty after deleting all")
+		}
+	}
+}
+
+func TestRBTreeInOrderEarlyStop(t *testing.T) {
+	var tr RBTree
+	for i := 0; i < 10; i++ {
+		tr.Insert(Key{Weight: int64(i), ID: uint64(i)}, i)
+	}
+	count := 0
+	tr.InOrder(func(*Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+// Property: for any sequence of inserts and deletes, in-order traversal
+// equals the sorted reference and invariants hold.
+func TestRBTreeMatchesSortedReferenceProperty(t *testing.T) {
+	type op struct {
+		Weight int8
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		var tr RBTree
+		live := map[uint64]*Node{}
+		ref := map[uint64]int64{}
+		var nextID uint64
+		liveIDs := []uint64{}
+		for _, o := range ops {
+			if o.Delete && len(liveIDs) > 0 {
+				// Delete the oldest live node (deterministic choice).
+				id := liveIDs[0]
+				liveIDs = liveIDs[1:]
+				tr.Delete(live[id])
+				delete(live, id)
+				delete(ref, id)
+			} else {
+				id := nextID
+				nextID++
+				nd := tr.Insert(Key{Weight: int64(o.Weight), ID: id}, id)
+				live[id] = nd
+				ref[id] = int64(o.Weight)
+				liveIDs = append(liveIDs, id)
+			}
+			tr.CheckInvariants()
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Build the expected sorted key list.
+		want := make([]Key, 0, len(ref))
+		for id, w := range ref {
+			want = append(want, Key{Weight: w, ID: id})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		got := make([]Key, 0, tr.Len())
+		tr.InOrder(func(n *Node) bool {
+			got = append(got, n.Key)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRBTreeInsertDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tr RBTree
+	nodes := make([]*Node, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		nodes = append(nodes, tr.Insert(Key{Weight: rng.Int63(), ID: uint64(i)}, nil))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(nodes)
+		tr.Delete(nodes[idx])
+		nodes[idx] = tr.Insert(Key{Weight: rng.Int63(), ID: uint64(1024 + i)}, nil)
+	}
+}

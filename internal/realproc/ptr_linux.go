@@ -1,0 +1,15 @@
+//go:build linux
+
+package realproc
+
+import "unsafe"
+
+// Word geometry for CPU masks.
+const (
+	wordBytes = unsafe.Sizeof(uintptr(0))
+	wordBits  = wordBytes * 8
+)
+
+// unsafePointer converts a typed pointer for raw syscalls; isolated here
+// so the unsafe import stays in one file.
+func unsafePointer[T any](p *T) unsafe.Pointer { return unsafe.Pointer(p) }

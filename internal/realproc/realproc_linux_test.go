@@ -1,0 +1,106 @@
+//go:build linux
+
+package realproc
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// TestMain doubles as the worker entry point: when the test binary is
+// re-executed by Run with WorkerEnv set, it must behave as a Fibonacci
+// worker instead of running the test suite.
+func TestMain(m *testing.M) {
+	if IsWorkerInvocation() {
+		os.Exit(RunWorker())
+	}
+	os.Exit(m.Run())
+}
+
+func TestSetAffinitySelf(t *testing.T) {
+	if err := SetAffinity(0, []int{0}); err != nil {
+		if errors.Is(err, syscall.EPERM) {
+			t.Skipf("no permission for sched_setaffinity: %v", err)
+		}
+		t.Fatal(err)
+	}
+	// Restore to all CPUs (best effort).
+	all := make([]int, 0, 64)
+	for i := 0; i < 64; i++ {
+		all = append(all, i)
+	}
+	_ = SetAffinity(0, all)
+}
+
+func TestSetAffinityValidation(t *testing.T) {
+	if err := SetAffinity(0, nil); err == nil {
+		t.Error("empty CPU list accepted")
+	}
+	if err := SetAffinity(0, []int{-1}); err == nil {
+		t.Error("negative CPU accepted")
+	}
+	if err := SetAffinity(0, []int{99999}); err == nil {
+		t.Error("out-of-range CPU accepted")
+	}
+}
+
+func TestSetFIFOValidation(t *testing.T) {
+	if err := SetFIFO(0, 0); err == nil {
+		t.Error("priority 0 accepted")
+	}
+	if err := SetFIFO(0, 100); err == nil {
+		t.Error("priority 100 accepted")
+	}
+}
+
+func TestRunRealWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	invs := []workload.Invocation{
+		{Arrival: 0, FibN: 25, Duration: time.Millisecond, MemMB: 128},
+		{Arrival: 5 * time.Millisecond, FibN: 26, Duration: time.Millisecond, MemMB: 128},
+		{Arrival: 10 * time.Millisecond, FibN: 25, Duration: time.Millisecond, MemMB: 128},
+	}
+	samples, err := Run(invs, Config{CPUs: []int{0}, TimeScale: 1, MaxProcs: 2})
+	if err != nil {
+		t.Skipf("cannot run real workers here: %v", err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for i, s := range samples {
+		if s.ExitError != nil {
+			// Affinity errors on exotic sandboxes degrade, not fail.
+			t.Logf("sample %d degraded: %v", i, s.ExitError)
+			continue
+		}
+		if s.Finish <= s.Start {
+			t.Errorf("sample %d: finish %v <= start %v", i, s.Finish, s.Start)
+		}
+		if s.Execution() <= 0 || s.Response() < 0 {
+			t.Errorf("sample %d: bad metrics %+v", i, s)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Error("empty invocations accepted")
+	}
+}
+
+func TestWorkerEnvRoundTrip(t *testing.T) {
+	if IsWorkerInvocation() {
+		t.Fatal("test process should not be a worker here")
+	}
+	t.Setenv(WorkerEnv, "7")
+	if !IsWorkerInvocation() {
+		t.Fatal("worker env not detected")
+	}
+}

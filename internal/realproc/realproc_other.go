@@ -1,0 +1,57 @@
+//go:build !linux
+
+// Package realproc is only functional on Linux; other platforms get typed
+// errors so callers can degrade to simulation mode.
+package realproc
+
+import (
+	"errors"
+	"time"
+
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// WorkerEnv matches the Linux implementation.
+const WorkerEnv = "FAASSCHED_FIB_WORKER"
+
+// ErrUnsupported is returned by every operation off-Linux.
+var ErrUnsupported = errors.New("realproc: real-process mode requires Linux")
+
+// IsWorkerInvocation reports false off-Linux.
+func IsWorkerInvocation() bool { return false }
+
+// RunWorker is unavailable off-Linux.
+func RunWorker() int { return 2 }
+
+// SetAffinity is unavailable off-Linux.
+func SetAffinity(int, []int) error { return ErrUnsupported }
+
+// SetFIFO is unavailable off-Linux.
+func SetFIFO(int, int) error { return ErrUnsupported }
+
+// Config mirrors the Linux implementation.
+type Config struct {
+	CPUs      []int
+	FIFO      bool
+	TimeScale int
+	MaxProcs  int
+}
+
+// Sample mirrors the Linux implementation.
+type Sample struct {
+	FibN      int
+	Arrival   time.Duration
+	Start     time.Duration
+	Finish    time.Duration
+	FIFOSet   bool
+	ExitError error
+}
+
+// Execution returns the worker's wall-clock run time.
+func (s Sample) Execution() time.Duration { return s.Finish - s.Start }
+
+// Response returns spawn delay relative to the intended arrival.
+func (s Sample) Response() time.Duration { return s.Start - s.Arrival }
+
+// Run is unavailable off-Linux.
+func Run([]workload.Invocation, Config) ([]Sample, error) { return nil, ErrUnsupported }

@@ -1,0 +1,176 @@
+package simkern
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRandomPreemptResumeAccounting drives a single task through a random
+// preempt/resume schedule and checks the accounting identities the whole
+// stack depends on:
+//
+//	cpuConsumed(final)   == Work + preemptions × CachePenalty
+//	finish − firstRun    >= Work (wall time can only stretch)
+//	extraWork            == preemptions × CachePenalty
+func TestRandomPreemptResumeAccounting(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		penalty := time.Duration(rng.Intn(3)) * time.Millisecond
+		cfg := Config{Cores: 1, CachePenalty: penalty}
+		k, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task := &Task{ID: 1, Work: 500 * time.Millisecond}
+		preemptions := 0
+		var schedule func()
+		schedule = func() {
+			// Preempt at a random offset, rest a random gap, resume.
+			at := k.Now() + time.Duration(1+rng.Intn(40))*time.Millisecond
+			k.SetTimer(at, func() {
+				if task.State() != StateRunning {
+					return
+				}
+				if _, err := k.Preempt(0); err != nil {
+					t.Errorf("seed %d: preempt: %v", seed, err)
+					return
+				}
+				preemptions++
+				resume := k.Now() + time.Duration(rng.Intn(20))*time.Millisecond
+				k.SetTimer(resume, func() {
+					if task.State() != StateRunnable {
+						return
+					}
+					if err := k.RunTask(0, task); err != nil {
+						t.Errorf("seed %d: resume: %v", seed, err)
+						return
+					}
+					if preemptions < 8 {
+						schedule()
+					}
+				})
+			})
+		}
+		h := &hookHandler{
+			arrived: func(tk *Task) {
+				if err := k.RunTask(0, tk); err != nil {
+					t.Fatal(err)
+				}
+				schedule()
+			},
+		}
+		k.SetHandler(h)
+		if err := k.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if task.State() != StateFinished {
+			t.Fatalf("seed %d: task %v, preemptions %d", seed, task.State(), preemptions)
+		}
+		wantCPU := task.Work + time.Duration(preemptions)*penalty
+		if task.CPUConsumed() != wantCPU {
+			t.Errorf("seed %d: consumed %v, want %v (%d preemptions, penalty %v)",
+				seed, task.CPUConsumed(), wantCPU, preemptions, penalty)
+		}
+		if task.ExtraWork() != time.Duration(preemptions)*penalty {
+			t.Errorf("seed %d: extra %v, want %d x %v", seed, task.ExtraWork(), preemptions, penalty)
+		}
+		if wall := task.Finish() - task.FirstRun(); wall < task.Work {
+			t.Errorf("seed %d: wall %v < demand %v", seed, wall, task.Work)
+		}
+		if task.Preemptions() != preemptions {
+			t.Errorf("seed %d: task counted %d preemptions, driver %d",
+				seed, task.Preemptions(), preemptions)
+		}
+	}
+}
+
+// TestInterferenceAccountingUnderPreemption combines the periodic
+// interference model with preemptions: consumed CPU must track exactly
+// despite steal windows.
+func TestInterferenceAccountingUnderPreemption(t *testing.T) {
+	cfg := Config{
+		Cores:        1,
+		Interference: PeriodicInterference{Period: 10 * time.Millisecond, Steal: 2 * time.Millisecond},
+	}
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := &Task{ID: 1, Work: 40 * time.Millisecond}
+	h := &hookHandler{
+		arrived: func(tk *Task) {
+			if err := k.RunTask(0, tk); err != nil {
+				t.Fatal(err)
+			}
+			// Preempt mid-steal-window (at 11ms: inside [10,12) steal).
+			k.SetTimer(11*time.Millisecond, func() {
+				got, err := k.Preempt(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Work done in [0,11): 8ms available in first period, plus
+				// nothing from the stolen start of the second.
+				if got.CPUConsumed() != 8*time.Millisecond {
+					t.Errorf("consumed %v at preempt, want 8ms", got.CPUConsumed())
+				}
+				k.SetTimer(20*time.Millisecond, func() {
+					if err := k.RunTask(0, task); err != nil {
+						t.Fatal(err)
+					}
+				})
+			})
+		},
+	}
+	k.SetHandler(h)
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != StateFinished {
+		t.Fatalf("task state %v", task.State())
+	}
+	if task.CPUConsumed() != task.Work {
+		t.Errorf("final consumed %v, want %v (no cache penalty configured)",
+			task.CPUConsumed(), task.Work)
+	}
+}
+
+// TestAbortLifecycle covers AbortTask edge cases.
+func TestAbortLifecycle(t *testing.T) {
+	k, err := New(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetHandler(&hookHandler{})
+	// Abort before arrival (StateNew).
+	early := &Task{ID: 1, Arrival: 10 * time.Millisecond, Work: time.Second}
+	if err := k.AddTask(early); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AbortTask(early); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if early.State() != StateFailed {
+		t.Errorf("aborted-early task state %v", early.State())
+	}
+	if k.Outstanding() != 0 {
+		t.Errorf("outstanding %d after abort", k.Outstanding())
+	}
+	// Abort a finished task must fail.
+	if err := k.AbortTask(early); err == nil {
+		t.Error("aborting failed task accepted")
+	}
+	if err := k.AbortTask(nil); err == nil {
+		t.Error("aborting nil accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package simkern
+
+import (
+	"time"
+
+	"github.com/faassched/faassched/internal/queue"
+)
+
+// event is a scheduled callback in the simulation's event loop. Events are
+// ordered by (time, sequence) so ties resolve in scheduling order, making
+// runs deterministic.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// TimerID identifies a kernel timer created with SetTimer.
+type TimerID uint64
+
+// eventLoop owns the pending-event heap. active counts non-canceled
+// pending events so self-rescheduling services (the utilization sampler)
+// can tell whether real work remains.
+type eventLoop struct {
+	heap   *queue.Heap[*event]
+	seq    uint64
+	active int
+}
+
+func newEventLoop() *eventLoop {
+	return &eventLoop{heap: queue.NewHeap[*event](eventLess)}
+}
+
+// schedule enqueues fn at time at and returns the event for cancellation.
+func (l *eventLoop) schedule(at time.Duration, fn func()) *event {
+	l.seq++
+	ev := &event{at: at, seq: l.seq, fn: fn}
+	l.heap.Push(ev)
+	l.active++
+	return ev
+}
+
+// cancel marks ev canceled; it stays in the heap and is discarded on pop.
+func (l *eventLoop) cancel(ev *event) {
+	if !ev.canceled {
+		ev.canceled = true
+		l.active--
+	}
+}
+
+// next pops the earliest non-canceled event, or nil when drained.
+func (l *eventLoop) next() *event {
+	for {
+		ev, ok := l.heap.Pop()
+		if !ok {
+			return nil
+		}
+		if !ev.canceled {
+			l.active--
+			return ev
+		}
+	}
+}
+
+// peekTime returns the time of the earliest pending event.
+func (l *eventLoop) peekTime() (time.Duration, bool) {
+	for {
+		ev, ok := l.heap.Peek()
+		if !ok {
+			return 0, false
+		}
+		if !ev.canceled {
+			return ev.at, true
+		}
+		l.heap.Pop()
+	}
+}
+
+// activeLen returns the number of pending non-canceled events.
+func (l *eventLoop) activeLen() int { return l.active }

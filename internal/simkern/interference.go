@@ -1,0 +1,150 @@
+package simkern
+
+import (
+	"fmt"
+	"time"
+)
+
+// Interference models CPU time stolen from enclave tasks by the host OS
+// (native Linux CFS work the paper could not exclude: its ghOSt FIFO tasks
+// were themselves "preempted from Linux native CFS", Table I discussion).
+//
+// Implementations must be deterministic pure functions of (core, time) so
+// that simulation runs are reproducible and Advance/WorkDone are exact
+// inverses: WorkDone(c, start, Advance(c, start, w)) == w.
+type Interference interface {
+	// Advance returns the wall-clock time needed for a task on core c,
+	// starting at start, to consume work of CPU. Always >= work.
+	Advance(c CoreID, start, work time.Duration) time.Duration
+	// WorkDone returns the CPU consumed by a task on core c during the
+	// wall-clock interval [start, start+elapsed).
+	WorkDone(c CoreID, start, elapsed time.Duration) time.Duration
+}
+
+// noInterference is the default: the enclave owns its cores outright.
+type noInterference struct{}
+
+func (noInterference) Advance(_ CoreID, _, work time.Duration) time.Duration { return work }
+func (noInterference) WorkDone(_ CoreID, _, elapsed time.Duration) time.Duration {
+	return elapsed
+}
+
+// PeriodicInterference steals the first Steal of every Period on each core,
+// with a per-core phase offset to avoid lock-step stalls across the
+// machine. It is the documented emulation knob for the paper's
+// native-preemption artifact; it is off by default (see DESIGN.md §1).
+type PeriodicInterference struct {
+	Period time.Duration // cycle length, > 0
+	Steal  time.Duration // stolen at the start of each cycle, in [0, Period)
+}
+
+// Validate reports an error for a nonsensical schedule.
+func (p PeriodicInterference) Validate() error {
+	if p.Period <= 0 {
+		return fmt.Errorf("simkern: interference period must be positive, got %v", p.Period)
+	}
+	if p.Steal < 0 || p.Steal >= p.Period {
+		return fmt.Errorf("simkern: interference steal %v must be in [0, period %v)", p.Steal, p.Period)
+	}
+	return nil
+}
+
+// phase returns the per-core offset added to wall time so cores stall at
+// different moments.
+func (p PeriodicInterference) phase(c CoreID) time.Duration {
+	if c < 0 {
+		c = 0
+	}
+	// Spread offsets with a coprime-ish multiplier; exact spacing is
+	// unimportant, determinism is.
+	return (time.Duration(c) * 7919 * time.Microsecond) % p.Period
+}
+
+// availableIn returns the CPU available to the task in wall interval
+// [t, t+dt) in core-local phase-shifted time.
+func (p PeriodicInterference) availableIn(local, dt time.Duration) time.Duration {
+	if dt <= 0 {
+		return 0
+	}
+	avail := time.Duration(0)
+	// Walk whole periods analytically, partial periods explicitly.
+	perPeriod := p.Period - p.Steal
+	startCycle := local / p.Period
+	endCycle := (local + dt) / p.Period
+	if endCycle > startCycle {
+		// Partial first cycle.
+		avail += availInCycle(local%p.Period, p.Period, p.Steal)
+		// Whole middle cycles.
+		avail += time.Duration(endCycle-startCycle-1) * perPeriod
+		// Partial last cycle: [0, (local+dt) mod P).
+		avail += availPrefix((local+dt)%p.Period, p.Steal)
+	} else {
+		avail += availPrefix((local+dt)%p.Period, p.Steal) - availPrefix(local%p.Period, p.Steal)
+	}
+	return avail
+}
+
+// availPrefix returns available CPU in cycle-local interval [0, x) when the
+// first steal units are stolen.
+func availPrefix(x, steal time.Duration) time.Duration {
+	if x <= steal {
+		return 0
+	}
+	return x - steal
+}
+
+// availInCycle returns available CPU in [x, period).
+func availInCycle(x, period, steal time.Duration) time.Duration {
+	return availPrefix(period, steal) - availPrefix(x, steal)
+}
+
+// WorkDone implements Interference.
+func (p PeriodicInterference) WorkDone(c CoreID, start, elapsed time.Duration) time.Duration {
+	return p.availableIn(start+p.phase(c), elapsed)
+}
+
+// Advance implements Interference by inverting WorkDone: find the smallest
+// dt with availableIn(local, dt) == work. Computed cycle-by-cycle in O(1)
+// per whole cycle batch.
+func (p PeriodicInterference) Advance(c CoreID, start, work time.Duration) time.Duration {
+	if work <= 0 {
+		return 0
+	}
+	local := start + p.phase(c)
+	perPeriod := p.Period - p.Steal
+	dt := time.Duration(0)
+
+	// Finish the current (partial) cycle first.
+	inCycle := local % p.Period
+	availHere := availInCycle(inCycle, p.Period, p.Steal)
+	if work <= availHere {
+		return dt + advanceWithinCycle(inCycle, work, p.Steal)
+	}
+	work -= availHere
+	dt += p.Period - inCycle
+
+	// Whole cycles.
+	if perPeriod > 0 {
+		whole := work / perPeriod
+		if work%perPeriod == 0 {
+			whole--
+		}
+		if whole > 0 {
+			dt += time.Duration(whole) * p.Period
+			work -= time.Duration(whole) * perPeriod
+		}
+	}
+
+	// Final partial cycle, starting at cycle offset 0.
+	return dt + advanceWithinCycle(0, work, p.Steal)
+}
+
+// advanceWithinCycle returns the wall time from cycle offset x needed to
+// consume work, assuming work fits within this cycle's availability.
+func advanceWithinCycle(x, work, steal time.Duration) time.Duration {
+	if x < steal {
+		// Wait out the stolen prefix first.
+		return (steal - x) + work
+	}
+	return work
+}

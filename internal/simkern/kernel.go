@@ -1,0 +1,452 @@
+package simkern
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/stats"
+)
+
+// Errors returned by kernel mechanism calls. Policies are expected to
+// handle ErrCoreBusy/ErrCoreIdle races gracefully (they mirror ghOSt's
+// failed transaction commits).
+var (
+	ErrNoHandler   = errors.New("simkern: Run called before SetHandler")
+	ErrBadCore     = errors.New("simkern: core id out of range")
+	ErrCoreBusy    = errors.New("simkern: core already has a running task")
+	ErrCoreIdle    = errors.New("simkern: core has no running task")
+	ErrNotRunnable = errors.New("simkern: task is not runnable")
+	ErrBadTask     = errors.New("simkern: invalid task")
+)
+
+// Config configures a simulated kernel.
+type Config struct {
+	// Cores is the number of CPU cores in the enclave. Must be >= 1.
+	Cores int
+	// SwitchCost is the direct context-switch cost: the core makes no task
+	// progress for this long after each dispatch.
+	SwitchCost time.Duration
+	// CachePenalty is added to a task's outstanding service demand each
+	// time it is preempted mid-run, modeling cold-cache refill.
+	CachePenalty time.Duration
+	// Interference models host-OS time stolen from enclave tasks.
+	// Nil means the enclave owns its cores outright.
+	Interference Interference
+	// SampleEvery enables per-core utilization sampling at this period.
+	// Zero disables sampling.
+	SampleEvery time.Duration
+	// RecordUtil keeps the full per-core utilization history (needed by
+	// the utilization-over-time figures). Requires SampleEvery > 0.
+	RecordUtil bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// 5 µs direct switch cost and 50 µs cold-cache penalty, 100 ms utilization
+// sampling.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:        cores,
+		SwitchCost:   5 * time.Microsecond,
+		CachePenalty: 50 * time.Microsecond,
+		SampleEvery:  100 * time.Millisecond,
+	}
+}
+
+// Handler receives kernel notifications. The ghost layer implements it and
+// forwards the notifications to policies as messages.
+type Handler interface {
+	// OnTaskArrived fires when a task reaches its arrival time and becomes
+	// runnable.
+	OnTaskArrived(t *Task)
+	// OnTaskFinished fires when a task completes; c is the core it ran on.
+	OnTaskFinished(t *Task, c CoreID)
+}
+
+// core is the kernel-internal per-CPU state.
+type core struct {
+	id   CoreID
+	task *Task
+
+	busyAccum      time.Duration // total busy time up to busySince validity
+	busySince      time.Duration // start of current busy span (task != nil)
+	lastSampleBusy time.Duration
+	lastUtil       float64
+	utilHist       *stats.Series
+
+	switches    int64
+	preemptions int64
+}
+
+// Kernel is the simulated machine: cores, clock, event loop, and task
+// table. Create with New, drive with AddTask/Run, and control placement
+// through RunTask/Preempt from the Handler's callbacks.
+//
+// Kernel is not safe for concurrent use; the simulation is single-threaded
+// by design (determinism).
+type Kernel struct {
+	cfg     Config
+	loop    *eventLoop
+	now     time.Duration
+	cores   []*core
+	handler Handler
+	interf  Interference
+
+	tasks       []*Task
+	finished    int
+	makespan    time.Duration
+	timers      map[TimerID]*event
+	nextTimerID TimerID
+	sampling    bool
+}
+
+// New validates cfg and returns a kernel.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("simkern: Cores must be >= 1, got %d", cfg.Cores)
+	}
+	if cfg.SwitchCost < 0 || cfg.CachePenalty < 0 {
+		return nil, fmt.Errorf("simkern: negative cost (switch %v, cache %v)", cfg.SwitchCost, cfg.CachePenalty)
+	}
+	if cfg.SampleEvery < 0 {
+		return nil, fmt.Errorf("simkern: SampleEvery must be >= 0, got %v", cfg.SampleEvery)
+	}
+	if cfg.RecordUtil && cfg.SampleEvery == 0 {
+		return nil, errors.New("simkern: RecordUtil requires SampleEvery > 0")
+	}
+	interf := cfg.Interference
+	if interf == nil {
+		interf = noInterference{}
+	}
+	if p, ok := interf.(PeriodicInterference); ok {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	k := &Kernel{
+		cfg:    cfg,
+		loop:   newEventLoop(),
+		interf: interf,
+		timers: make(map[TimerID]*event),
+	}
+	k.cores = make([]*core, cfg.Cores)
+	for i := range k.cores {
+		c := &core{id: CoreID(i)}
+		if cfg.RecordUtil {
+			c.utilHist = stats.NewSeries(fmt.Sprintf("core%d", i))
+		}
+		k.cores[i] = c
+	}
+	return k, nil
+}
+
+// SetHandler registers the scheduling handler. Must be called before Run.
+func (k *Kernel) SetHandler(h Handler) { k.handler = h }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// CoreCount returns the number of cores.
+func (k *Kernel) CoreCount() int { return len(k.cores) }
+
+// Outstanding returns the number of added tasks that have not finished.
+func (k *Kernel) Outstanding() int { return len(k.tasks) - k.finished }
+
+// Tasks returns all tasks ever added, in addition order. Callers must not
+// mutate kernel-owned fields.
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+// Makespan returns the completion time of the last finished task so far.
+func (k *Kernel) Makespan() time.Duration { return k.makespan }
+
+// AddTask registers a task. Arrival times in the past are clamped to now
+// (used by the Firecracker layer, which spawns threads mid-run). The task's
+// runtime fields must be zero: a Task may be added to exactly one kernel.
+func (k *Kernel) AddTask(t *Task) error {
+	if t == nil || t.Work <= 0 {
+		return fmt.Errorf("%w: nil or non-positive work", ErrBadTask)
+	}
+	if t.state != 0 {
+		return fmt.Errorf("%w: task already added (state %v)", ErrBadTask, t.state)
+	}
+	if t.Arrival < k.now {
+		t.Arrival = k.now
+	}
+	t.state = StateNew
+	t.core = NoCore
+	t.firstRun = NoTime
+	t.finish = NoTime
+	k.tasks = append(k.tasks, t)
+	k.loop.schedule(t.Arrival, func() {
+		if t.state != StateNew {
+			return // aborted before arrival
+		}
+		t.state = StateRunnable
+		k.handler.OnTaskArrived(t)
+	})
+	return nil
+}
+
+// Run processes events until the event queue drains or the horizon is
+// reached (horizon 0 means no limit). It returns the number of events
+// processed.
+func (k *Kernel) Run(horizon time.Duration) (int, error) {
+	if k.handler == nil {
+		return 0, ErrNoHandler
+	}
+	if k.cfg.SampleEvery > 0 && !k.sampling {
+		k.sampling = true
+		k.scheduleSample()
+	}
+	processed := 0
+	for {
+		at, ok := k.loop.peekTime()
+		if !ok {
+			break
+		}
+		if horizon > 0 && at > horizon {
+			k.now = horizon
+			break
+		}
+		ev := k.loop.next()
+		k.now = ev.at
+		ev.fn()
+		processed++
+	}
+	return processed, nil
+}
+
+// RunTask places runnable task t on idle core c. The core spends SwitchCost
+// in the context switch, then t consumes CPU (modulo interference) until
+// completion or preemption.
+func (k *Kernel) RunTask(c CoreID, t *Task) error {
+	cr, err := k.core(c)
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		return ErrBadTask
+	}
+	if t.state != StateRunnable {
+		return fmt.Errorf("%w: task %d is %v", ErrNotRunnable, t.ID, t.state)
+	}
+	if cr.task != nil {
+		return fmt.Errorf("%w: core %d running task %d", ErrCoreBusy, c, cr.task.ID)
+	}
+	cr.task = t
+	cr.busySince = k.now
+	cr.switches++
+	t.state = StateRunning
+	t.core = c
+	if t.firstRun == NoTime {
+		t.firstRun = k.now
+	}
+	t.segStart = k.now + k.cfg.SwitchCost
+	t.remainingAtGo = t.Work + t.extraWork - t.cpuConsumed
+	completeAt := t.segStart + k.interf.Advance(c, t.segStart, t.remainingAtGo)
+	t.completion = k.loop.schedule(completeAt, func() {
+		k.complete(cr, t)
+	})
+	return nil
+}
+
+// Preempt removes the task running on core c, returning it in Runnable
+// state with its consumed CPU accounted and the cache penalty applied.
+func (k *Kernel) Preempt(c CoreID) (*Task, error) {
+	cr, err := k.core(c)
+	if err != nil {
+		return nil, err
+	}
+	t := cr.task
+	if t == nil {
+		return nil, fmt.Errorf("%w: core %d", ErrCoreIdle, c)
+	}
+	k.loop.cancel(t.completion)
+	t.completion = nil
+	consumed := time.Duration(0)
+	if k.now > t.segStart {
+		consumed = k.interf.WorkDone(c, t.segStart, k.now-t.segStart)
+		if consumed > t.remainingAtGo {
+			consumed = t.remainingAtGo
+		}
+	}
+	t.cpuConsumed += consumed
+	if consumed > 0 {
+		t.extraWork += k.cfg.CachePenalty
+	}
+	t.state = StateRunnable
+	t.core = NoCore
+	t.preemptions++
+	cr.preemptions++
+	cr.busyAccum += k.now - cr.busySince
+	cr.task = nil
+	return t, nil
+}
+
+// complete finishes task t on core cr at the current time.
+func (k *Kernel) complete(cr *core, t *Task) {
+	t.cpuConsumed += t.remainingAtGo
+	t.remainingAtGo = 0
+	t.completion = nil
+	t.state = StateFinished
+	t.finish = k.now
+	t.core = NoCore
+	cr.busyAccum += k.now - cr.busySince
+	cr.task = nil
+	k.finished++
+	if k.now > k.makespan {
+		k.makespan = k.now
+	}
+	k.handler.OnTaskFinished(t, cr.id)
+}
+
+// AbortTask marks a runnable (never-run) task as failed without notifying
+// the handler: the task leaves the outstanding count but produces no
+// TASK_DEAD message, mirroring an admission failure rather than a
+// completion. The Firecracker layer uses it for microVM launch failures.
+func (k *Kernel) AbortTask(t *Task) error {
+	if t == nil {
+		return ErrBadTask
+	}
+	if t.state != StateRunnable && t.state != StateNew {
+		return fmt.Errorf("%w: cannot abort task %d in state %v", ErrBadTask, t.ID, t.state)
+	}
+	t.state = StateFailed
+	k.finished++
+	return nil
+}
+
+// SetTimer schedules fn at time at (clamped to now) and returns an id for
+// CancelTimer.
+func (k *Kernel) SetTimer(at time.Duration, fn func()) TimerID {
+	if at < k.now {
+		at = k.now
+	}
+	k.nextTimerID++
+	id := k.nextTimerID
+	ev := k.loop.schedule(at, func() {
+		delete(k.timers, id)
+		fn()
+	})
+	k.timers[id] = ev
+	return id
+}
+
+// CancelTimer cancels a pending timer; it reports whether the timer was
+// still pending.
+func (k *Kernel) CancelTimer(id TimerID) bool {
+	ev, ok := k.timers[id]
+	if !ok {
+		return false
+	}
+	k.loop.cancel(ev)
+	delete(k.timers, id)
+	return true
+}
+
+// RunningTask returns the task currently on core c, or nil.
+func (k *Kernel) RunningTask(c CoreID) *Task {
+	cr, err := k.core(c)
+	if err != nil {
+		return nil
+	}
+	return cr.task
+}
+
+// TaskCPUConsumed returns t's CPU consumption as of the current instant,
+// including progress inside the current running segment.
+func (k *Kernel) TaskCPUConsumed(t *Task) time.Duration {
+	if t.state != StateRunning {
+		return t.cpuConsumed
+	}
+	if k.now <= t.segStart {
+		return t.cpuConsumed
+	}
+	done := k.interf.WorkDone(t.core, t.segStart, k.now-t.segStart)
+	if done > t.remainingAtGo {
+		done = t.remainingAtGo
+	}
+	return t.cpuConsumed + done
+}
+
+// CoreBusy returns core c's cumulative busy time as of now.
+func (k *Kernel) CoreBusy(c CoreID) time.Duration {
+	cr, err := k.core(c)
+	if err != nil {
+		return 0
+	}
+	busy := cr.busyAccum
+	if cr.task != nil {
+		busy += k.now - cr.busySince
+	}
+	return busy
+}
+
+// CoreSwitches returns how many dispatches core c has performed.
+func (k *Kernel) CoreSwitches(c CoreID) int64 {
+	cr, err := k.core(c)
+	if err != nil {
+		return 0
+	}
+	return cr.switches
+}
+
+// CorePreemptions returns how many preemptions happened on core c.
+func (k *Kernel) CorePreemptions(c CoreID) int64 {
+	cr, err := k.core(c)
+	if err != nil {
+		return 0
+	}
+	return cr.preemptions
+}
+
+// UtilLast returns core c's utilization in the most recently completed
+// sampling window, in [0, 1]. This mirrors the paper's psutil daemon that
+// publishes per-core utilization through shared memory.
+func (k *Kernel) UtilLast(c CoreID) float64 {
+	cr, err := k.core(c)
+	if err != nil {
+		return 0
+	}
+	return cr.lastUtil
+}
+
+// UtilHistory returns core c's utilization time series, or nil when
+// RecordUtil is disabled.
+func (k *Kernel) UtilHistory(c CoreID) *stats.Series {
+	cr, err := k.core(c)
+	if err != nil {
+		return nil
+	}
+	return cr.utilHist
+}
+
+func (k *Kernel) core(c CoreID) (*core, error) {
+	if c < 0 || int(c) >= len(k.cores) {
+		return nil, fmt.Errorf("%w: %d (have %d cores)", ErrBadCore, c, len(k.cores))
+	}
+	return k.cores[c], nil
+}
+
+func (k *Kernel) scheduleSample() {
+	k.loop.schedule(k.now+k.cfg.SampleEvery, func() {
+		for _, cr := range k.cores {
+			busy := cr.busyAccum
+			if cr.task != nil {
+				busy += k.now - cr.busySince
+			}
+			cr.lastUtil = float64(busy-cr.lastSampleBusy) / float64(k.cfg.SampleEvery)
+			cr.lastSampleBusy = busy
+			if cr.utilHist != nil {
+				cr.utilHist.Append(k.now, cr.lastUtil)
+			}
+		}
+		// Stop sampling once the machine is drained so the event loop can
+		// terminate; Run restarts it lazily if more work arrives.
+		if k.Outstanding() > 0 || k.loop.activeLen() > 0 {
+			k.scheduleSample()
+		} else {
+			k.sampling = false
+		}
+	})
+}

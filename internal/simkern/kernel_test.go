@@ -1,0 +1,487 @@
+package simkern
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// dispatcher is a minimal work-conserving FIFO handler used to exercise
+// the kernel in tests.
+type dispatcher struct {
+	k        *Kernel
+	queue    []*Task
+	finished []*Task
+}
+
+func (d *dispatcher) OnTaskArrived(t *Task) {
+	d.queue = append(d.queue, t)
+	d.dispatch()
+}
+
+func (d *dispatcher) OnTaskFinished(t *Task, _ CoreID) {
+	d.finished = append(d.finished, t)
+	d.dispatch()
+}
+
+func (d *dispatcher) dispatch() {
+	for c := CoreID(0); int(c) < d.k.CoreCount(); c++ {
+		if len(d.queue) == 0 {
+			return
+		}
+		if d.k.RunningTask(c) == nil {
+			t := d.queue[0]
+			d.queue = d.queue[1:]
+			if err := d.k.RunTask(c, t); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func newTestKernel(t *testing.T, cfg Config) (*Kernel, *dispatcher) {
+	t.Helper()
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &dispatcher{k: k}
+	k.SetHandler(d)
+	return k, d
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no cores":        {Cores: 0},
+		"negative switch": {Cores: 1, SwitchCost: -1},
+		"negative cache":  {Cores: 1, CachePenalty: -1},
+		"negative sample": {Cores: 1, SampleEvery: -1},
+		"record no rate":  {Cores: 1, RecordUtil: true},
+		"bad interf":      {Cores: 1, Interference: PeriodicInterference{}},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%s) succeeded, want error", name)
+		}
+	}
+}
+
+func TestRunWithoutHandler(t *testing.T) {
+	k, err := New(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("Run err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestSingleTaskLifecycle(t *testing.T) {
+	k, d := newTestKernel(t, Config{Cores: 1})
+	task := &Task{ID: 1, Kind: KindFunction, Arrival: 10 * time.Millisecond, Work: 50 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != StateFinished {
+		t.Fatalf("state = %v, want finished", task.State())
+	}
+	if task.FirstRun() != 10*time.Millisecond {
+		t.Errorf("FirstRun = %v, want 10ms", task.FirstRun())
+	}
+	if task.Finish() != 60*time.Millisecond {
+		t.Errorf("Finish = %v, want 60ms", task.Finish())
+	}
+	if task.CPUConsumed() != 50*time.Millisecond {
+		t.Errorf("CPUConsumed = %v, want 50ms", task.CPUConsumed())
+	}
+	if len(d.finished) != 1 || k.Outstanding() != 0 {
+		t.Errorf("finished = %d, outstanding = %d", len(d.finished), k.Outstanding())
+	}
+	if k.Makespan() != 60*time.Millisecond {
+		t.Errorf("Makespan = %v", k.Makespan())
+	}
+}
+
+func TestSwitchCostDelaysCompletion(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1, SwitchCost: time.Millisecond})
+	task := &Task{ID: 1, Work: 10 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.Finish() != 11*time.Millisecond {
+		t.Errorf("Finish = %v, want 11ms (1ms switch + 10ms work)", task.Finish())
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1})
+	if err := k.AddTask(nil); err == nil {
+		t.Error("AddTask(nil) should fail")
+	}
+	if err := k.AddTask(&Task{Work: 0}); err == nil {
+		t.Error("AddTask(zero work) should fail")
+	}
+	good := &Task{ID: 1, Work: time.Millisecond}
+	if err := k.AddTask(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTask(good); err == nil {
+		t.Error("re-adding a task should fail")
+	}
+}
+
+func TestRunTaskErrors(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1})
+	a := &Task{ID: 1, Work: time.Hour}
+	b := &Task{ID: 2, Work: time.Hour}
+	if err := k.AddTask(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddTask(b); err != nil {
+		t.Fatal(err)
+	}
+	// Before arrival events fire, tasks are not runnable.
+	if err := k.RunTask(0, a); !errors.Is(err, ErrNotRunnable) {
+		t.Errorf("RunTask(new task) = %v, want ErrNotRunnable", err)
+	}
+	// Make both runnable by processing arrivals; the test dispatcher will
+	// place task a on core 0.
+	if _, err := k.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunTask(0, b); !errors.Is(err, ErrCoreBusy) {
+		t.Errorf("RunTask(busy core) = %v, want ErrCoreBusy", err)
+	}
+	if err := k.RunTask(5, b); !errors.Is(err, ErrBadCore) {
+		t.Errorf("RunTask(bad core) = %v, want ErrBadCore", err)
+	}
+	if err := k.RunTask(0, nil); !errors.Is(err, ErrBadTask) {
+		t.Errorf("RunTask(nil) = %v, want ErrBadTask", err)
+	}
+}
+
+func TestPreemptAccounting(t *testing.T) {
+	cfg := Config{Cores: 1, CachePenalty: 2 * time.Millisecond}
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preempted *Task
+	h := &hookHandler{
+		arrived: func(task *Task) {
+			if err := k.RunTask(0, task); err != nil {
+				t.Fatalf("RunTask: %v", err)
+			}
+			// Preempt after 30ms of a 100ms task.
+			k.SetTimer(k.Now()+30*time.Millisecond, func() {
+				p, err := k.Preempt(0)
+				if err != nil {
+					t.Fatalf("Preempt: %v", err)
+				}
+				preempted = p
+			})
+		},
+	}
+	k.SetHandler(h)
+	task := &Task{ID: 1, Work: 100 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if preempted != task {
+		t.Fatal("preempted task mismatch")
+	}
+	if task.State() != StateRunnable {
+		t.Errorf("state = %v, want runnable", task.State())
+	}
+	if task.CPUConsumed() != 30*time.Millisecond {
+		t.Errorf("CPUConsumed = %v, want 30ms", task.CPUConsumed())
+	}
+	if task.ExtraWork() != 2*time.Millisecond {
+		t.Errorf("ExtraWork = %v, want 2ms penalty", task.ExtraWork())
+	}
+	// remaining = 100 - 30 + 2 penalty = 72ms.
+	if task.Remaining() != 72*time.Millisecond {
+		t.Errorf("Remaining = %v, want 72ms", task.Remaining())
+	}
+	if task.Preemptions() != 1 {
+		t.Errorf("Preemptions = %d, want 1", task.Preemptions())
+	}
+	if k.CorePreemptions(0) != 1 {
+		t.Errorf("CorePreemptions = %d, want 1", k.CorePreemptions(0))
+	}
+}
+
+// hookHandler lets tests wire arbitrary callbacks.
+type hookHandler struct {
+	arrived  func(*Task)
+	finished func(*Task, CoreID)
+}
+
+func (h *hookHandler) OnTaskArrived(t *Task) {
+	if h.arrived != nil {
+		h.arrived(t)
+	}
+}
+
+func (h *hookHandler) OnTaskFinished(t *Task, c CoreID) {
+	if h.finished != nil {
+		h.finished(t, c)
+	}
+}
+
+func TestPreemptErrors(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1})
+	if _, err := k.Preempt(0); !errors.Is(err, ErrCoreIdle) {
+		t.Errorf("Preempt(idle) = %v, want ErrCoreIdle", err)
+	}
+	if _, err := k.Preempt(9); !errors.Is(err, ErrBadCore) {
+		t.Errorf("Preempt(bad core) = %v, want ErrBadCore", err)
+	}
+}
+
+func TestPreemptResumeCompletes(t *testing.T) {
+	// Preempt at 30ms, resume at 50ms; with a 1ms cache penalty, the task
+	// should complete at 50 + (100-30+1) = 121ms.
+	k, err := New(Config{Cores: 1, CachePenalty: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := &Task{ID: 1, Work: 100 * time.Millisecond}
+	h := &hookHandler{
+		arrived: func(tk *Task) {
+			if err := k.RunTask(0, tk); err != nil {
+				t.Fatal(err)
+			}
+			k.SetTimer(30*time.Millisecond, func() {
+				if _, err := k.Preempt(0); err != nil {
+					t.Fatal(err)
+				}
+			})
+			k.SetTimer(50*time.Millisecond, func() {
+				if err := k.RunTask(0, tk); err != nil {
+					t.Fatal(err)
+				}
+			})
+		},
+	}
+	k.SetHandler(h)
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.Finish() != 121*time.Millisecond {
+		t.Errorf("Finish = %v, want 121ms", task.Finish())
+	}
+	if got := task.CPUConsumed(); got != 101*time.Millisecond {
+		t.Errorf("CPUConsumed = %v, want 101ms (100 + 1 penalty)", got)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1})
+	fired := false
+	id := k.SetTimer(10*time.Millisecond, func() { fired = true })
+	if !k.CancelTimer(id) {
+		t.Fatal("CancelTimer reported not pending")
+	}
+	if k.CancelTimer(id) {
+		t.Fatal("double cancel should report false")
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("canceled timer fired")
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1})
+	task := &Task{ID: 1, Work: 100 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != StateRunning {
+		t.Fatalf("state at horizon = %v, want running", task.State())
+	}
+	if k.Now() != 50*time.Millisecond {
+		t.Errorf("Now = %v, want horizon", k.Now())
+	}
+	// Resuming finishes the task.
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != StateFinished {
+		t.Errorf("state after resume = %v", task.State())
+	}
+}
+
+func TestManyTasksWorkConservation(t *testing.T) {
+	const cores = 4
+	k, d := newTestKernel(t, Config{Cores: cores, SwitchCost: 10 * time.Microsecond})
+	var totalWork time.Duration
+	for i := 0; i < 200; i++ {
+		w := time.Duration(1+i%17) * time.Millisecond
+		totalWork += w
+		task := &Task{ID: TaskID(i + 1), Arrival: time.Duration(i) * 300 * time.Microsecond, Work: w}
+		if err := k.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.finished) != 200 {
+		t.Fatalf("finished %d tasks, want 200", len(d.finished))
+	}
+	var busy time.Duration
+	for c := CoreID(0); c < cores; c++ {
+		busy += k.CoreBusy(c)
+	}
+	if busy < totalWork {
+		t.Errorf("busy %v < work %v: lost work", busy, totalWork)
+	}
+	if busy > time.Duration(cores)*k.Makespan() {
+		t.Errorf("busy %v exceeds capacity %v", busy, time.Duration(cores)*k.Makespan())
+	}
+	// Each task ran exactly once on an idle machine region: every task's
+	// consumed CPU must equal its demand (no preemptions happened).
+	for _, task := range k.Tasks() {
+		if task.CPUConsumed() != task.Work {
+			t.Fatalf("task %d consumed %v, want %v", task.ID, task.CPUConsumed(), task.Work)
+		}
+		if task.Finish() < task.FirstRun() || task.FirstRun() < task.Arrival {
+			t.Fatalf("task %d has inconsistent timestamps", task.ID)
+		}
+	}
+}
+
+func TestUtilizationSampling(t *testing.T) {
+	cfg := Config{Cores: 2, SampleEvery: 10 * time.Millisecond, RecordUtil: true}
+	k, _ := newTestKernel(t, cfg)
+	// Core 0 busy for exactly the first 20ms; core 1 idle throughout.
+	if err := k.AddTask(&Task{ID: 1, Work: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hist := k.UtilHistory(0)
+	if hist == nil || hist.Len() < 2 {
+		t.Fatalf("missing utilization history: %v", hist)
+	}
+	samples := hist.Samples()
+	if samples[0].V != 1.0 || samples[1].V != 1.0 {
+		t.Errorf("first two samples = %v, %v; want 1.0", samples[0].V, samples[1].V)
+	}
+	if k.UtilLast(1) != 0 {
+		t.Errorf("idle core UtilLast = %v, want 0", k.UtilLast(1))
+	}
+	if k.UtilHistory(1).Mean() != 0 {
+		t.Errorf("idle core mean util = %v, want 0", k.UtilHistory(1).Mean())
+	}
+}
+
+func TestInterferenceStretchesExecution(t *testing.T) {
+	// 10% duty steal: a 90ms task should take ~100ms wall.
+	cfg := Config{
+		Cores:        1,
+		Interference: PeriodicInterference{Period: 10 * time.Millisecond, Steal: time.Millisecond},
+	}
+	k, _ := newTestKernel(t, cfg)
+	task := &Task{ID: 1, Work: 90 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	wall := task.Finish() - task.FirstRun()
+	if wall < 98*time.Millisecond || wall > 102*time.Millisecond {
+		t.Errorf("wall = %v, want ~100ms", wall)
+	}
+	if task.CPUConsumed() != 90*time.Millisecond {
+		t.Errorf("CPUConsumed = %v, want 90ms", task.CPUConsumed())
+	}
+}
+
+func TestTaskCPUConsumedMidRun(t *testing.T) {
+	k, err := New(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := &Task{ID: 1, Work: 100 * time.Millisecond}
+	var observed time.Duration
+	h := &hookHandler{
+		arrived: func(tk *Task) {
+			if err := k.RunTask(0, tk); err != nil {
+				t.Fatal(err)
+			}
+			k.SetTimer(40*time.Millisecond, func() {
+				observed = k.TaskCPUConsumed(tk)
+			})
+		},
+	}
+	k.SetHandler(h)
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if observed != 40*time.Millisecond {
+		t.Errorf("mid-run CPUConsumed = %v, want 40ms", observed)
+	}
+}
+
+func TestAddTaskDuringRunClampsArrival(t *testing.T) {
+	k, d := newTestKernel(t, Config{Cores: 1})
+	first := &Task{ID: 1, Work: 10 * time.Millisecond}
+	if err := k.AddTask(first); err != nil {
+		t.Fatal(err)
+	}
+	// At 5ms, inject a task with a stale arrival; it must be clamped.
+	late := &Task{ID: 2, Arrival: time.Millisecond, Work: 5 * time.Millisecond}
+	k.SetTimer(5*time.Millisecond, func() {
+		if err := k.AddTask(late); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if late.Arrival != 5*time.Millisecond {
+		t.Errorf("clamped arrival = %v, want 5ms", late.Arrival)
+	}
+	if len(d.finished) != 2 {
+		t.Errorf("finished %d, want 2", len(d.finished))
+	}
+}
+
+func TestStateAndKindStrings(t *testing.T) {
+	if StateNew.String() == "" || StateRunnable.String() == "" ||
+		StateRunning.String() == "" || StateFinished.String() == "" {
+		t.Error("empty state strings")
+	}
+	if TaskState(99).String() == "" {
+		t.Error("unknown state should still render")
+	}
+	for _, k := range []TaskKind{KindFunction, KindVCPU, KindVMM, KindIO, TaskKind(99)} {
+		if k.String() == "" {
+			t.Errorf("kind %d renders empty", int(k))
+		}
+	}
+}

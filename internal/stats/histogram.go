@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over float64 values. It is used by
+// the trace generator's self-checks and by harness summaries.
+type Histogram struct {
+	edges  []float64 // ascending bucket upper bounds; last bucket is open
+	counts []int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. A final overflow bucket (> last edge) is added automatically.
+// It panics if edges is empty or not strictly ascending (programmer error).
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) == 0 {
+		panic("stats: histogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly ascending")
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{edges: e, counts: make([]int64, len(edges)+1)}
+}
+
+// LogEdges returns n strictly ascending edges spaced logarithmically from
+// lo to hi (both > 0). Handy for duration histograms spanning ms..minutes.
+func LogEdges(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic("stats: LogEdges requires 0 < lo < hi and n >= 2")
+	}
+	edges := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := 0; i < n; i++ {
+		edges[i] = v
+		v *= ratio
+	}
+	edges[n-1] = hi
+	return edges
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	for i, e := range h.edges {
+		if v <= e {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Counts returns a copy of the per-bucket counts; the final entry is the
+// overflow bucket.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// CumulativeAt returns the fraction of observations <= the i-th edge.
+func (h *Histogram) CumulativeAt(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		sum += h.counts[j]
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// String renders a compact text view, one bucket per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, e := range h.edges {
+		fmt.Fprintf(&b, "<=%-12.4g %8d (%.1f%%)\n", e, h.counts[i], 100*h.CumulativeAt(i))
+	}
+	fmt.Fprintf(&b, "> %-12.4g %8d\n", h.edges[len(h.edges)-1], h.counts[len(h.counts)-1])
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramPanics(t *testing.T) {
+	for name, edges := range map[string][]float64{
+		"empty":     nil,
+		"unordered": {2, 1},
+		"equal":     {1, 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		})
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	counts := h.Counts()
+	want := []int64{2, 1, 1, 1} // <=1: {0.5, 1}; <=10: {5}; <=100: {50}; >100: {500}
+	if len(counts) != len(want) {
+		t.Fatalf("len(counts) = %d, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+	if got := h.CumulativeAt(1); got != 0.6 {
+		t.Errorf("CumulativeAt(1) = %v, want 0.6", got)
+	}
+	if !strings.Contains(h.String(), "<=") {
+		t.Error("String output missing bucket markers")
+	}
+}
+
+func TestLogEdges(t *testing.T) {
+	edges := LogEdges(1, 1000, 4)
+	if len(edges) != 4 {
+		t.Fatalf("len = %d, want 4", len(edges))
+	}
+	if edges[0] != 1 || edges[3] != 1000 {
+		t.Errorf("endpoints = %v, %v", edges[0], edges[3])
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not ascending: %v", edges)
+		}
+	}
+	// Ratio should be constant (x10 per step here).
+	r1 := edges[1] / edges[0]
+	r2 := edges[2] / edges[1]
+	if r1 < 9.9 || r1 > 10.1 || r2 < 9.9 || r2 > 10.1 {
+		t.Errorf("ratios %v, %v not ~10", r1, r2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogEdges with bad args did not panic")
+		}
+	}()
+	LogEdges(0, 10, 3)
+}
+
+func TestHistogramEmptyCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if h.CumulativeAt(0) != 0 {
+		t.Error("empty histogram cumulative should be 0")
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("util")
+	if s.Name() != "util" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+	s.Append(0, 1)
+	s.Append(time.Second, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestSeriesMeanBetween(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	got, ok := s.MeanBetween(2*time.Second, 5*time.Second) // values 2,3,4
+	if !ok || got != 3 {
+		t.Errorf("MeanBetween = %v,%v want 3,true", got, ok)
+	}
+	if _, ok := s.MeanBetween(100*time.Second, 200*time.Second); ok {
+		t.Error("MeanBetween out of range should report !ok")
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Append(time.Duration(i), float64(i))
+	}
+	out := s.Downsample(10)
+	if len(out) != 10 {
+		t.Fatalf("Downsample(10) -> %d samples", len(out))
+	}
+	if out[0].V != 0 || out[9].V != 99 {
+		t.Errorf("endpoints = %v, %v; want 0, 99", out[0].V, out[9].V)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].T <= out[i-1].T {
+			t.Fatalf("downsample not strictly increasing at %d", i)
+		}
+	}
+	// Short series are copied verbatim.
+	short := NewSeries("s")
+	short.Append(1, 5)
+	got := short.Downsample(10)
+	if len(got) != 1 || got[0].V != 5 {
+		t.Errorf("short Downsample = %v", got)
+	}
+	if s.Downsample(0) != nil {
+		t.Error("Downsample(0) should be nil")
+	}
+}

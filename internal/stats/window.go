@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Window is a fixed-capacity sliding window of float64 observations with
+// percentile queries. It implements the paper's §IV-B mechanism: "in a data
+// structure we keep the most recent 100 function durations. Using these data
+// the scheduler chooses the time limit as a configurable percentile."
+//
+// Add is O(capacity) in the worst case (sorted-insert bookkeeping), which is
+// negligible at the paper's capacity of 100. The zero value is not usable;
+// construct with NewWindow.
+type Window struct {
+	cap    int
+	buf    []float64 // ring buffer in arrival order
+	head   int       // index of the oldest element in buf
+	sorted []float64 // same elements, kept sorted
+}
+
+// NewWindow returns a sliding window holding at most capacity observations.
+// It panics if capacity < 1 (a programmer error, not an input error).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("stats: window capacity must be >= 1")
+	}
+	return &Window{
+		cap:    capacity,
+		buf:    make([]float64, 0, capacity),
+		sorted: make([]float64, 0, capacity),
+	}
+}
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return w.cap }
+
+// Len returns the number of observations currently held.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Add records a new observation, evicting the oldest one if the window is
+// already full.
+func (w *Window) Add(v float64) {
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, v)
+		w.insertSorted(v)
+		return
+	}
+	old := w.buf[w.head]
+	w.buf[w.head] = v
+	w.head = (w.head + 1) % w.cap
+	w.removeSorted(old)
+	w.insertSorted(v)
+}
+
+func (w *Window) insertSorted(v float64) {
+	i := sort.SearchFloat64s(w.sorted, v)
+	w.sorted = append(w.sorted, 0)
+	copy(w.sorted[i+1:], w.sorted[i:])
+	w.sorted[i] = v
+}
+
+func (w *Window) removeSorted(v float64) {
+	i := sort.SearchFloat64s(w.sorted, v)
+	// v is guaranteed present; SearchFloat64s returns its first occurrence.
+	w.sorted = append(w.sorted[:i], w.sorted[i+1:]...)
+}
+
+// Percentile returns the q-quantile (nearest-rank) of the current window
+// contents, and false if the window is empty.
+func (w *Window) Percentile(q float64) (float64, bool) {
+	if len(w.sorted) == 0 {
+		return 0, false
+	}
+	if q <= 0 {
+		return w.sorted[0], true
+	}
+	if q >= 1 {
+		return w.sorted[len(w.sorted)-1], true
+	}
+	rank := int(math.Ceil(q*float64(len(w.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return w.sorted[rank], true
+}
+
+// Values returns the current contents in arrival order (oldest first).
+// The returned slice is freshly allocated.
+func (w *Window) Values() []float64 {
+	out := make([]float64, 0, len(w.buf))
+	for i := 0; i < len(w.buf); i++ {
+		out = append(out, w.buf[(w.head+i)%len(w.buf)])
+	}
+	return out
+}

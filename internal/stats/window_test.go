@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(3)
+	if _, ok := w.Percentile(0.5); ok {
+		t.Error("Percentile on empty window should report !ok")
+	}
+	if w.Len() != 0 || w.Cap() != 3 {
+		t.Errorf("Len,Cap = %d,%d want 0,3", w.Len(), w.Cap())
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3, 4} { // 1 evicted
+		w.Add(v)
+	}
+	if got := w.Values(); len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Values = %v, want [2 3 4]", got)
+	}
+	if v, ok := w.Percentile(0); !ok || v != 2 {
+		t.Errorf("min = %v, want 2", v)
+	}
+	if v, ok := w.Percentile(1); !ok || v != 4 {
+		t.Errorf("max = %v, want 4", v)
+	}
+}
+
+func TestWindowDuplicates(t *testing.T) {
+	w := NewWindow(2)
+	w.Add(5)
+	w.Add(5)
+	w.Add(5) // evicts a 5, inserts a 5
+	if v, ok := w.Percentile(0.5); !ok || v != 5 {
+		t.Errorf("Percentile(0.5) = %v, want 5", v)
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestWindowPercentileMatchesPaper(t *testing.T) {
+	// The paper keeps 100 recent durations and picks a percentile.
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Add(float64(i))
+	}
+	for _, tt := range []struct {
+		q    float64
+		want float64
+	}{{0.25, 25}, {0.50, 50}, {0.75, 75}, {0.90, 90}, {0.95, 95}} {
+		if v, _ := w.Percentile(tt.q); v != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.q, v, tt.want)
+		}
+	}
+}
+
+// Property: window percentile equals the naive nearest-rank percentile of
+// the last <=cap values, for any sequence of additions.
+func TestWindowMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []float64, capSeed uint8, qSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		q := float64(qSeed%101) / 100
+		w := NewWindow(capacity)
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, v)
+			w.Add(v)
+		}
+		if len(vals) == 0 {
+			_, ok := w.Percentile(q)
+			return !ok
+		}
+		start := 0
+		if len(vals) > capacity {
+			start = len(vals) - capacity
+		}
+		last := append([]float64{}, vals[start:]...)
+		sort.Float64s(last)
+		rank := int(math.Ceil(q*float64(len(last)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := last[rank]
+		got, ok := w.Percentile(q)
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Values always returns the last <=cap additions in order.
+func TestWindowValuesOrderProperty(t *testing.T) {
+	f := func(raw []float64, capSeed uint8) bool {
+		capacity := int(capSeed%8) + 1
+		w := NewWindow(capacity)
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			vals = append(vals, v)
+			w.Add(v)
+		}
+		start := 0
+		if len(vals) > capacity {
+			start = len(vals) - capacity
+		}
+		want := vals[start:]
+		got := w.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			// NaN-free; direct equality is fine (incl. ±Inf).
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

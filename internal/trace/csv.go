@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CSV serialization of the merged function table, in the shape the paper
+// derives from the Azure dataset (§V-B: "each row of the table has the
+// function duration as the first item followed by [per-minute] counts").
+//
+// Format: a header line declaring the minute count, then one row per
+// function:
+//
+//	avg_duration_ms,mem_mb,count_m0,count_m1,...
+//
+// Users holding the real Azure trace (or any production FaaS trace) can
+// export it in this shape and feed it to the workload builder in place of
+// the synthesizer, making the proprietary-data substitution pluggable.
+
+// csvHeaderPrefix starts the header row; the count columns follow.
+const csvHeaderPrefix = "avg_duration_ms,mem_mb"
+
+// WriteCSV serializes the trace's rows (including garbage rows, which the
+// reader's consumers are expected to clean, as in the paper's pipeline).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := csvHeaderPrefix
+	for m := 0; m < t.Minutes; m++ {
+		header += fmt.Sprintf(",count_m%d", m)
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if len(r.Counts) != t.Minutes {
+			return fmt.Errorf("trace: row %d has %d counts, trace has %d minutes",
+				r.ID, len(r.Counts), t.Minutes)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%.3f,%d", float64(r.AvgDuration)/float64(time.Millisecond), r.MemMB)
+		for _, c := range r.Counts {
+			fmt.Fprintf(&sb, ",%d", c)
+		}
+		if _, err := fmt.Fprintln(bw, sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace from the WriteCSV format. Row IDs are assigned
+// sequentially. Negative or absurd durations are preserved (the cleaning
+// step belongs to the consumer, mirroring the paper's pipeline).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, errors.New("trace: empty CSV")
+	}
+	header := strings.TrimSpace(sc.Text())
+	if !strings.HasPrefix(header, csvHeaderPrefix) {
+		return nil, fmt.Errorf("trace: bad CSV header %q", header)
+	}
+	minutes := strings.Count(header, ",count_m")
+	if minutes < 1 {
+		return nil, fmt.Errorf("trace: header declares no minute columns: %q", header)
+	}
+	tr := &Trace{Minutes: minutes}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2+minutes {
+			return nil, fmt.Errorf("trace: line %d: want %d fields, got %d", line, 2+minutes, len(fields))
+		}
+		durMS, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad duration %q", line, fields[0])
+		}
+		mem, err := strconv.Atoi(fields[1])
+		if err != nil || mem < 1 {
+			return nil, fmt.Errorf("trace: line %d: bad mem_mb %q", line, fields[1])
+		}
+		row := FunctionRow{
+			ID:          len(tr.Rows),
+			AvgDuration: time.Duration(durMS * float64(time.Millisecond)),
+			MemMB:       mem,
+			Counts:      make([]int, minutes),
+		}
+		for m := 0; m < minutes; m++ {
+			c, err := strconv.Atoi(fields[2+m])
+			if err != nil || c < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad count %q", line, fields[2+m])
+			}
+			row.Counts[m] = c
+		}
+		tr.Rows = append(tr.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tr.Rows) == 0 {
+		return nil, errors.New("trace: CSV has no rows")
+	}
+	return tr, nil
+}

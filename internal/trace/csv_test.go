@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Minutes = 3
+	cfg.Functions = 50
+	orig, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Minutes != orig.Minutes || len(got.Rows) != len(orig.Rows) {
+		t.Fatalf("shape mismatch: %d/%d rows, %d/%d minutes",
+			len(got.Rows), len(orig.Rows), got.Minutes, orig.Minutes)
+	}
+	for i := range got.Rows {
+		g, o := got.Rows[i], orig.Rows[i]
+		// Durations round to µs precision through the ms-float encoding.
+		diff := g.AvgDuration - o.AvgDuration
+		if diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("row %d duration drift %v", i, diff)
+		}
+		if g.MemMB != o.MemMB {
+			t.Fatalf("row %d mem %d != %d", i, g.MemMB, o.MemMB)
+		}
+		for m := range g.Counts {
+			if g.Counts[m] != o.Counts[m] {
+				t.Fatalf("row %d minute %d count %d != %d", i, m, g.Counts[m], o.Counts[m])
+			}
+		}
+	}
+	if got.TotalInvocations() != orig.TotalInvocations() {
+		t.Error("total invocations drifted through CSV")
+	}
+}
+
+func TestCSVPreservesGarbageRows(t *testing.T) {
+	orig := &Trace{
+		Minutes: 1,
+		Rows: []FunctionRow{
+			{ID: 0, AvgDuration: -500 * time.Millisecond, MemMB: 128, Counts: []int{3}},
+			{ID: 1, AvgDuration: 200 * time.Millisecond, MemMB: 256, Counts: []int{7}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0].AvgDuration >= 0 {
+		t.Error("garbage (negative) duration not preserved; cleaning is the consumer's job")
+	}
+	if len(got.CleanRows()) != 1 {
+		t.Errorf("CleanRows = %d, want 1", len(got.CleanRows()))
+	}
+}
+
+func TestWriteCSVRejectsRaggedRows(t *testing.T) {
+	bad := &Trace{
+		Minutes: 2,
+		Rows:    []FunctionRow{{AvgDuration: time.Second, MemMB: 128, Counts: []int{1}}},
+	}
+	var buf bytes.Buffer
+	if err := bad.WriteCSV(&buf); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "nope\n",
+		"no minutes":  "avg_duration_ms,mem_mb\n",
+		"field count": "avg_duration_ms,mem_mb,count_m0\n1.0,128\n",
+		"bad dur":     "avg_duration_ms,mem_mb,count_m0\nxx,128,1\n",
+		"bad mem":     "avg_duration_ms,mem_mb,count_m0\n1.0,0,1\n",
+		"bad count":   "avg_duration_ms,mem_mb,count_m0\n1.0,128,-2\n",
+		"no rows":     "avg_duration_ms,mem_mb,count_m0\n",
+	}
+	for name, content := range cases {
+		if _, err := ReadCSV(strings.NewReader(content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCSVFeedsWorkloadBuilder(t *testing.T) {
+	// The integration the format exists for: an externally supplied table
+	// flows through the paper's §V-B pipeline.
+	csv := "avg_duration_ms,mem_mb,count_m0,count_m1\n" +
+		"300.0,128,200,100\n" +
+		"5000.0,512,50,50\n"
+	tr, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Minutes != 2 || tr.TotalInvocations() != 400 {
+		t.Fatalf("parsed %d invocations over %d minutes", tr.TotalInvocations(), tr.Minutes)
+	}
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := DefaultConfig()
+		mut(&c)
+		return c
+	}
+	bad := map[string]Config{
+		"functions": mk(func(c *Config) { c.Functions = 0 }),
+		"minutes":   mk(func(c *Config) { c.Minutes = 0 }),
+		"scale":     mk(func(c *Config) { c.RateScale = 0 }),
+		"garbage":   mk(func(c *Config) { c.GarbageFraction = 0.9 }),
+		"median":    mk(func(c *Config) { c.ShortMedianMs = 0 }),
+		"weight":    mk(func(c *Config) { c.TailWeight = 2 }),
+	}
+	for name, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Minutes = 3
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalInvocations() != b.TotalInvocations() {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Rows {
+		if a.Rows[i].AvgDuration != b.Rows[i].AvgDuration {
+			t.Fatal("row durations differ across runs")
+		}
+	}
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalInvocations() == a.TotalInvocations() {
+		t.Error("different seeds produced identical totals (suspicious)")
+	}
+}
+
+func TestFirstTwoMinutesVolumeMatchesPaper(t *testing.T) {
+	// With the default calibration, the first two minutes divided by the
+	// paper's ×100 downscale should land near 12,442 invocations.
+	cfg := DefaultConfig()
+	cfg.Minutes = 2
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(tr.TotalInvocations()) / 100.0
+	if got < 8000 || got > 18000 {
+		t.Errorf("downscaled 2-minute volume = %.0f, want ~12442 (±40%%)", got)
+	}
+}
+
+func TestDurationCDFMatchesPublishedShape(t *testing.T) {
+	// The calibration targets the Azure statistics the paper quotes:
+	// ~80% of invocations under 1 second, p90 near the paper's 1,633 ms,
+	// and a tail reaching tens of seconds.
+	cfg := DefaultConfig()
+	cfg.Minutes = 5
+	cfg.RateScale = 10
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := tr.DurationCDF(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under1s := cdf.At(1000); under1s < 0.70 || under1s > 0.92 {
+		t.Errorf("P(duration < 1s) = %v, want ~0.8", under1s)
+	}
+	p90 := cdf.Quantile(0.90)
+	if p90 < 500 || p90 > 4000 {
+		t.Errorf("p90 = %vms, want within a factor ~2 of 1633ms", p90)
+	}
+	if cdf.Quantile(0.999) < 5000 {
+		t.Errorf("p99.9 = %vms, tail too thin", cdf.Quantile(0.999))
+	}
+}
+
+func TestBurstinessProducesSpikes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Minutes = 120
+	cfg.RateScale = 1
+	cfg.SpikeProb = 0.05
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := tr.ArrivalSeries()
+	mean := 0.0
+	for _, v := range series {
+		mean += float64(v)
+	}
+	mean /= float64(len(series))
+	peak := 0.0
+	for _, v := range series {
+		if float64(v) > peak {
+			peak = float64(v)
+		}
+	}
+	if peak < 2*mean {
+		t.Errorf("peak/mean = %.2f, want bursty (>2x)", peak/mean)
+	}
+}
+
+func TestGarbageRowsInjectedAndCleaned(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Minutes = 2
+	cfg.GarbageFraction = 0.2
+	cfg.Functions = 500
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := 0
+	for _, r := range tr.Rows {
+		if r.AvgDuration <= 0 || r.AvgDuration > MaxSaneDuration {
+			garbage++
+		}
+	}
+	if garbage < 50 || garbage > 150 {
+		t.Errorf("garbage rows = %d, want ~100 of 500", garbage)
+	}
+	clean := tr.CleanRows()
+	if len(clean)+garbage != len(tr.Rows) {
+		t.Errorf("CleanRows dropped %d, want %d", len(tr.Rows)-len(clean), garbage)
+	}
+	for _, r := range clean {
+		if r.AvgDuration <= 0 || r.AvgDuration > MaxSaneDuration {
+			t.Fatal("garbage survived cleaning")
+		}
+	}
+}
+
+func TestInvocationsInMinuteBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Minutes = 2
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.InvocationsInMinute(-1) != 0 || tr.InvocationsInMinute(99) != 0 {
+		t.Error("out-of-range minutes should count 0")
+	}
+	if tr.InvocationsInMinute(0)+tr.InvocationsInMinute(1) != tr.TotalInvocations() {
+		t.Error("per-minute sums disagree with total")
+	}
+}
+
+func TestDurationCDFSampling(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Minutes = 2
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tr.DurationCDF(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := tr.DurationCDF(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.N() > 11000 {
+		t.Errorf("sampled CDF has %d samples, want <= ~10k", sampled.N())
+	}
+	// Strided sampling must preserve the distribution shape.
+	if d := math.Abs(full.Quantile(0.5) - sampled.Quantile(0.5)); d/full.Quantile(0.5) > 0.2 {
+		t.Errorf("sampled median drifts: %v vs %v", sampled.Quantile(0.5), full.Quantile(0.5))
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, lambda := range []float64{0.5, 5, 100} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-lambda)/lambda > 0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive lambda should yield 0")
+	}
+}
+
+func TestRowInvocations(t *testing.T) {
+	r := FunctionRow{Counts: []int{1, 2, 3}, AvgDuration: time.Second}
+	if r.Invocations() != 6 {
+		t.Errorf("Invocations = %d", r.Invocations())
+	}
+}

@@ -1,0 +1,302 @@
+// Package workload implements the paper's §V-B workload pipeline: clean
+// the trace table, bucket every function duration to the calibrated
+// Fibonacci argument whose modeled duration is nearest, merge rows per
+// bucket, downscale invocation counts by a constant factor (the paper uses
+// ×100), and derive evenly spaced arrival instants within each minute
+// ("we assume that the function arrives at regular intervals every
+// minute"). The result is the invocation list every experiment replays,
+// and the workload-file format read/written by the tools mirrors the
+// paper's (inter-arrival time + Fibonacci argument).
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/faassched/faassched/internal/fib"
+	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/stats"
+	"github.com/faassched/faassched/internal/trace"
+)
+
+// DefaultDownscale is the paper's trace downscaling factor.
+const DefaultDownscale = 100
+
+// Invocation is one function invocation to replay.
+type Invocation struct {
+	// Arrival is the offset from workload start.
+	Arrival time.Duration
+	// FibN is the calibrated Fibonacci argument standing in for the
+	// function body.
+	FibN int
+	// Duration is the modeled service demand of fib(FibN).
+	Duration time.Duration
+	// MemMB is the allocated memory size (drives billing).
+	MemMB int
+}
+
+// Builder derives invocation lists from traces.
+type Builder struct {
+	// Model maps Fibonacci arguments to durations; zero value defaults to
+	// fib.DefaultModel().
+	Model fib.DurationModel
+	// Downscale divides every invocation count; zero defaults to
+	// DefaultDownscale. Use 1 for traces generated at already-downscaled
+	// volume.
+	Downscale int
+}
+
+func (b Builder) withDefaults() Builder {
+	if b.Model == (fib.DurationModel{}) {
+		b.Model = fib.DefaultModel()
+	}
+	if b.Downscale == 0 {
+		b.Downscale = DefaultDownscale
+	}
+	return b
+}
+
+// bucketKey merges trace rows that share a Fibonacci bucket and memory
+// size, the analog of the paper's group-by-duration-bucket step (memory is
+// kept as a secondary key so the billing distribution survives merging).
+type bucketKey struct {
+	fibN  int
+	memMB int
+}
+
+// Build derives the invocation list for trace minutes
+// [startMinute, startMinute+minutes).
+func (b Builder) Build(tr *trace.Trace, startMinute, minutes int) ([]Invocation, error) {
+	b = b.withDefaults()
+	if err := b.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if b.Downscale < 1 {
+		return nil, fmt.Errorf("workload: Downscale must be >= 1, got %d", b.Downscale)
+	}
+	if startMinute < 0 || minutes < 1 || startMinute+minutes > tr.Minutes {
+		return nil, fmt.Errorf("workload: minute range [%d, %d) outside trace of %d minutes",
+			startMinute, startMinute+minutes, tr.Minutes)
+	}
+
+	// Clean + bucket + merge (§V-B "Extracting Traces").
+	merged := make(map[bucketKey][]int)
+	for _, row := range tr.CleanRows() {
+		key := bucketKey{fibN: b.Model.NearestN(row.AvgDuration), memMB: row.MemMB}
+		counts, ok := merged[key]
+		if !ok {
+			counts = make([]int, minutes)
+			merged[key] = counts
+		}
+		for m := 0; m < minutes; m++ {
+			counts[m] += row.Counts[startMinute+m]
+		}
+	}
+
+	// Deterministic iteration order over buckets.
+	keys := make([]bucketKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fibN != keys[j].fibN {
+			return keys[i].fibN < keys[j].fibN
+		}
+		return keys[i].memMB < keys[j].memMB
+	})
+
+	// Downscale + evenly spaced arrivals per minute (§V-B "Workload
+	// Generation").
+	var out []Invocation
+	for _, key := range keys {
+		duration := b.Model.Duration(key.fibN)
+		for m, count := range merged[key] {
+			k := count / b.Downscale
+			if k <= 0 {
+				continue
+			}
+			iat := time.Minute / time.Duration(k)
+			base := time.Duration(m) * time.Minute
+			for i := 0; i < k; i++ {
+				out = append(out, Invocation{
+					Arrival:  base + time.Duration(i)*iat,
+					FibN:     key.fibN,
+					Duration: duration,
+					MemMB:    key.memMB,
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("workload: trace window yields no invocations after downscaling")
+	}
+	// "After sorting the invocations of all functions within that minute,
+	// the time difference between adjacent invocations is the inter-arrival
+	// time."
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		if out[i].FibN != out[j].FibN {
+			return out[i].FibN < out[j].FibN
+		}
+		return out[i].MemMB < out[j].MemMB
+	})
+	return out, nil
+}
+
+// TakeN truncates invs to its first n invocations (the paper pins its main
+// workload to exactly 12,442). It returns invs unchanged if shorter.
+func TakeN(invs []Invocation, n int) []Invocation {
+	if n < len(invs) {
+		return invs[:n]
+	}
+	return invs
+}
+
+// Sample returns ~n invocations stride-sampled across invs, preserving
+// the duration distribution and the arrival span — the right way to
+// shrink a workload for quick-scale runs (truncating with TakeN instead
+// would compress arrivals and under-represent the long tail).
+func Sample(invs []Invocation, n int) []Invocation {
+	if n <= 0 || n >= len(invs) {
+		return invs
+	}
+	stride := float64(len(invs)) / float64(n)
+	out := make([]Invocation, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, invs[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// DurationCDF returns the CDF of invocation durations in milliseconds —
+// the "sampled data" side of the paper's Fig 10 representativeness check.
+func DurationCDF(invs []Invocation) (stats.CDF, error) {
+	vals := make([]float64, 0, len(invs))
+	for _, inv := range invs {
+		vals = append(vals, float64(inv.Duration)/float64(time.Millisecond))
+	}
+	return stats.NewCDF(vals)
+}
+
+// Tasks converts invocations into simulator tasks (IDs 1..n in arrival
+// order).
+func Tasks(invs []Invocation) []*simkern.Task {
+	out := make([]*simkern.Task, 0, len(invs))
+	for i, inv := range invs {
+		out = append(out, &simkern.Task{
+			ID:      simkern.TaskID(i + 1),
+			Label:   fmt.Sprintf("fib(%d)", inv.FibN),
+			Kind:    simkern.KindFunction,
+			Arrival: inv.Arrival,
+			Work:    inv.Duration,
+			MemMB:   inv.MemMB,
+			FibN:    inv.FibN,
+		})
+	}
+	return out
+}
+
+// TotalWork sums service demands — used to reason about overload levels.
+func TotalWork(invs []Invocation) time.Duration {
+	var sum time.Duration
+	for _, inv := range invs {
+		sum += inv.Duration
+	}
+	return sum
+}
+
+// fileHeader is the workload-file header line. The format mirrors the
+// paper's workload file: one line per invocation with the inter-arrival
+// time (µs) to the previous invocation, the Fibonacci argument, and the
+// memory size.
+const fileHeader = "iat_us,fib_n,mem_mb"
+
+// Write serializes invocations to w in the workload-file format.
+func Write(w io.Writer, invs []Invocation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, fileHeader); err != nil {
+		return err
+	}
+	// Compute IATs between µs-rounded arrivals so the file's truncation
+	// error stays bounded at 1 µs instead of accumulating across rows.
+	prevUS := int64(0)
+	for _, inv := range invs {
+		curUS := inv.Arrival.Microseconds()
+		iatUS := curUS - prevUS
+		if iatUS < 0 {
+			return fmt.Errorf("workload: invocations not sorted by arrival (iat %dus)", iatUS)
+		}
+		prevUS = curUS
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", iatUS, inv.FibN, inv.MemMB); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the workload-file format, reconstructing arrivals from the
+// inter-arrival times and durations from the model.
+func Read(r io.Reader, model fib.DurationModel) ([]Invocation, error) {
+	if model == (fib.DurationModel{}) {
+		model = fib.DefaultModel()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, errors.New("workload: empty file")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != fileHeader {
+		return nil, fmt.Errorf("workload: bad header %q, want %q", got, fileHeader)
+	}
+	var out []Invocation
+	arrival := time.Duration(0)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("workload: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		iatUS, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || iatUS < 0 {
+			return nil, fmt.Errorf("workload: line %d: bad iat %q", line, fields[0])
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("workload: line %d: bad fib_n %q", line, fields[1])
+		}
+		mem, err := strconv.Atoi(fields[2])
+		if err != nil || mem < 1 {
+			return nil, fmt.Errorf("workload: line %d: bad mem_mb %q", line, fields[2])
+		}
+		arrival += time.Duration(iatUS) * time.Microsecond
+		out = append(out, Invocation{
+			Arrival:  arrival,
+			FibN:     n,
+			Duration: model.Duration(n),
+			MemMB:    mem,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("workload: file has no invocations")
+	}
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/fib"
+	"github.com/faassched/faassched/internal/stats"
+	"github.com/faassched/faassched/internal/trace"
+)
+
+func testTrace(t *testing.T, minutes int) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Minutes = minutes
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildBasics(t *testing.T) {
+	tr := testTrace(t, 2)
+	invs, err := Builder{}.Build(tr, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default calibration: ~12.4k invocations in two minutes, paper-scale.
+	if len(invs) < 8000 || len(invs) > 18000 {
+		t.Errorf("built %d invocations, want ~12442", len(invs))
+	}
+	model := fib.DefaultModel()
+	var prev time.Duration
+	for i, inv := range invs {
+		if inv.Arrival < prev {
+			t.Fatalf("invocation %d out of order", i)
+		}
+		prev = inv.Arrival
+		if inv.FibN < fib.MinN || inv.FibN > fib.MaxN {
+			t.Fatalf("invocation %d has FibN %d outside calibration range", i, inv.FibN)
+		}
+		if inv.Duration != model.Duration(inv.FibN) {
+			t.Fatalf("invocation %d duration %v != model %v", i, inv.Duration, model.Duration(inv.FibN))
+		}
+		if inv.Arrival >= 2*time.Minute {
+			t.Fatalf("invocation %d arrival %v outside window", i, inv.Arrival)
+		}
+		if inv.MemMB <= 0 {
+			t.Fatalf("invocation %d memory %d", i, inv.MemMB)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	tr := testTrace(t, 2)
+	a, err := Builder{}.Build(tr, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Builder{}.Build(tr, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic build size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("invocation %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tr := testTrace(t, 2)
+	if _, err := (Builder{Downscale: -1}).Build(tr, 0, 2); err == nil {
+		t.Error("negative downscale accepted")
+	}
+	if _, err := (Builder{}).Build(tr, 0, 5); err == nil {
+		t.Error("window beyond trace accepted")
+	}
+	if _, err := (Builder{}).Build(tr, -1, 1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := (Builder{Model: fib.DurationModel{BaseN: 36, Base: -1}}).Build(tr, 0, 2); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestDownscaleArithmetic(t *testing.T) {
+	// Hand-built trace: one function, 250 invocations in minute 0.
+	tr := &trace.Trace{
+		Minutes: 1,
+		Rows: []trace.FunctionRow{
+			{ID: 0, AvgDuration: 200 * time.Millisecond, MemMB: 128, Counts: []int{250}},
+		},
+	}
+	invs, err := Builder{Downscale: 100}.Build(tr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 2 { // 250/100 = 2
+		t.Fatalf("got %d invocations, want 2", len(invs))
+	}
+	// Evenly spaced: IAT = 60s/2 = 30s.
+	if invs[0].Arrival != 0 || invs[1].Arrival != 30*time.Second {
+		t.Errorf("arrivals = %v, %v; want 0, 30s", invs[0].Arrival, invs[1].Arrival)
+	}
+}
+
+func TestSmallCountsVanishUnderDownscale(t *testing.T) {
+	tr := &trace.Trace{
+		Minutes: 1,
+		Rows: []trace.FunctionRow{
+			{ID: 0, AvgDuration: 200 * time.Millisecond, MemMB: 128, Counts: []int{99}},
+		},
+	}
+	if _, err := (Builder{Downscale: 100}).Build(tr, 0, 1); err == nil {
+		t.Error("expected error for empty downscaled workload")
+	}
+}
+
+func TestGarbageRowsCleaned(t *testing.T) {
+	tr := &trace.Trace{
+		Minutes: 1,
+		Rows: []trace.FunctionRow{
+			{ID: 0, AvgDuration: -time.Second, MemMB: 128, Counts: []int{1000}},
+			{ID: 1, AvgDuration: 100 * time.Hour, MemMB: 128, Counts: []int{1000}},
+			{ID: 2, AvgDuration: 300 * time.Millisecond, MemMB: 256, Counts: []int{100}},
+		},
+	}
+	invs, err := Builder{Downscale: 1}.Build(tr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 100 {
+		t.Fatalf("got %d invocations, want 100 (garbage rows must be dropped)", len(invs))
+	}
+	for _, inv := range invs {
+		if inv.MemMB != 256 {
+			t.Fatal("invocation from garbage row survived")
+		}
+	}
+}
+
+func TestBucketMergesByFibNAndMemory(t *testing.T) {
+	// Two functions with durations that bucket to the same N and equal
+	// memory must merge; a third with different memory must not.
+	model := fib.DefaultModel()
+	d := model.Duration(38)
+	tr := &trace.Trace{
+		Minutes: 1,
+		Rows: []trace.FunctionRow{
+			{ID: 0, AvgDuration: d - 10*time.Millisecond, MemMB: 128, Counts: []int{3}},
+			{ID: 1, AvgDuration: d + 10*time.Millisecond, MemMB: 128, Counts: []int{3}},
+			{ID: 2, AvgDuration: d, MemMB: 512, Counts: []int{2}},
+		},
+	}
+	invs, err := Builder{Downscale: 1}.Build(tr, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 8 {
+		t.Fatalf("got %d invocations, want 8", len(invs))
+	}
+	mem128, mem512 := 0, 0
+	for _, inv := range invs {
+		if inv.FibN != 38 {
+			t.Fatalf("FibN = %d, want 38", inv.FibN)
+		}
+		switch inv.MemMB {
+		case 128:
+			mem128++
+		case 512:
+			mem512++
+		}
+	}
+	// Merged bucket of 6 at 128MB → IAT 10s; separate bucket of 2 at 512MB.
+	if mem128 != 6 || mem512 != 2 {
+		t.Errorf("memory split = %d/%d, want 6/2", mem128, mem512)
+	}
+}
+
+func TestSampledCDFTracksTraceCDF(t *testing.T) {
+	// The Fig 10 claim has two layers. First, the sampled *window* is
+	// representative of the full trace (tight overlap). Second, bucketing
+	// durations onto the φ-ladder distorts the CDF by at most one bucket
+	// step (looser bound).
+	tr := testTrace(t, 10)
+	window, err := tr.DurationCDFWindow(0, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tr.DurationCDF(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stats.KSDistance(window, full); d > 0.05 {
+		t.Errorf("window-vs-full KS = %v, want < 0.05 (Fig 10 overlap)", d)
+	}
+
+	invs, err := Builder{}.Build(tr, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := DurationCDF(invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stats.KSDistance(bucketed, full); d > 0.35 {
+		t.Errorf("bucketed-vs-full KS = %v, want < 0.35 (one φ step)", d)
+	}
+}
+
+func TestTakeN(t *testing.T) {
+	invs := []Invocation{{FibN: 36}, {FibN: 37}, {FibN: 38}}
+	if got := TakeN(invs, 2); len(got) != 2 {
+		t.Errorf("TakeN(2) -> %d", len(got))
+	}
+	if got := TakeN(invs, 5); len(got) != 3 {
+		t.Errorf("TakeN(5) -> %d", len(got))
+	}
+}
+
+func TestTasksConversion(t *testing.T) {
+	invs := []Invocation{
+		{Arrival: time.Second, FibN: 37, Duration: 194 * time.Millisecond, MemMB: 256},
+	}
+	tasks := Tasks(invs)
+	if len(tasks) != 1 {
+		t.Fatal("wrong task count")
+	}
+	task := tasks[0]
+	if task.ID != 1 || task.Arrival != time.Second || task.Work != 194*time.Millisecond ||
+		task.MemMB != 256 || task.FibN != 37 || !strings.Contains(task.Label, "37") {
+		t.Errorf("task fields wrong: %+v", task)
+	}
+	if TotalWork(invs) != 194*time.Millisecond {
+		t.Errorf("TotalWork = %v", TotalWork(invs))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := testTrace(t, 2)
+	invs, err := Builder{}.Build(tr, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs = TakeN(invs, 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, invs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(invs) {
+		t.Fatalf("round trip: %d vs %d", len(got), len(invs))
+	}
+	for i := range got {
+		// Arrivals round to µs in the file; error must not accumulate.
+		diff := got[i].Arrival - invs[i].Arrival
+		if diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("invocation %d arrival drift %v", i, diff)
+		}
+		if got[i].FibN != invs[i].FibN || got[i].MemMB != invs[i].MemMB {
+			t.Fatalf("invocation %d fields differ", i)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "nope\n1,36,128\n",
+		"fields":     "iat_us,fib_n,mem_mb\n1,36\n",
+		"bad iat":    "iat_us,fib_n,mem_mb\nx,36,128\n",
+		"neg iat":    "iat_us,fib_n,mem_mb\n-5,36,128\n",
+		"bad n":      "iat_us,fib_n,mem_mb\n1,zero,128\n",
+		"bad mem":    "iat_us,fib_n,mem_mb\n1,36,-1\n",
+		"no rows":    "iat_us,fib_n,mem_mb\n",
+	}
+	for name, content := range cases {
+		if _, err := Read(strings.NewReader(content), fib.DurationModel{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteRejectsUnsorted(t *testing.T) {
+	invs := []Invocation{
+		{Arrival: time.Second, FibN: 36, MemMB: 128},
+		{Arrival: 0, FibN: 36, MemMB: 128},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, invs); err == nil {
+		t.Error("unsorted invocations accepted")
+	}
+}
