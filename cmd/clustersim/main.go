@@ -1,0 +1,132 @@
+// Command clustersim simulates a fleet of servers fronted by a dispatch
+// policy — the cluster-scale counterpart to hybridsim. Flags in, aligned
+// table (and optionally CSV) out.
+//
+// Usage:
+//
+//	clustersim -servers 8 -cores 8 -dispatch least-loaded -sched hybrid
+//	clustersim -servers 16 -dispatch join-idle-queue -minutes 2 -n 4000
+//	clustersim -compare -servers 8            # sweep all dispatch policies
+//	clustersim -compare -csv results.csv      # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/faassched/faassched"
+	"github.com/faassched/faassched/internal/cliutil"
+	"github.com/faassched/faassched/internal/experiments"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
+	var (
+		servers  = fs.Int("servers", 4, "fleet size")
+		cores    = fs.Int("cores", 8, "cores per server")
+		dispatch = fs.String("dispatch", string(faassched.DispatchLeastLoaded),
+			fmt.Sprintf("dispatch policy %v", faassched.Dispatches()))
+		sched     = fs.String("sched", string(faassched.SchedulerHybrid), fmt.Sprintf("per-server scheduler %v", faassched.Schedulers()))
+		minutes   = fs.Int("minutes", 2, "trace minutes to replay (synthetic workload)")
+		n         = fs.Int("n", 0, "stride-sample the workload to ~n invocations (0 = all)")
+		seed      = fs.Int64("seed", 1, "workload and dispatch seed")
+		limit     = fs.Duration("limit", 0, "hybrid static time limit (default 1.633s)")
+		fifoCores = fs.Int("fifo-cores", 0, "hybrid FIFO group size per server (default half)")
+		compare   = fs.Bool("compare", false, "sweep every dispatch policy instead of running one")
+		file      = fs.String("workload", "", "replay a workload file instead of synthesizing")
+		csvPath   = fs.String("csv", "", "also write the result table as CSV to this path")
+	)
+	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
+
+	invs, err := faassched.LoadWorkload(*file, faassched.WorkloadSpec{
+		Seed:           *seed,
+		Minutes:        *minutes,
+		MaxInvocations: *n,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload: %d invocations spanning %s, total demand %s\n",
+		len(invs), invs[len(invs)-1].Arrival.Round(time.Second), workload.TotalWork(invs).Round(time.Second))
+
+	dispatches := []faassched.Dispatch{faassched.Dispatch(*dispatch)}
+	if *compare {
+		dispatches = faassched.Dispatches()
+	}
+
+	fig := experiments.NewFigure("clustersim",
+		fmt.Sprintf("%d×%d-core fleet, %s per server", *servers, *cores, *sched),
+		"dispatch", "p50_response_ms", "p99_response_ms", "p99_turnaround_ms",
+		"cost_usd", "imbalance", "makespan_s")
+	for _, d := range dispatches {
+		start := time.Now()
+		res, err := faassched.SimulateCluster(faassched.ClusterOptions{
+			Servers:        *servers,
+			CoresPerServer: *cores,
+			Dispatch:       d,
+			Scheduler:      faassched.Scheduler(*sched),
+			Seed:           *seed,
+			FIFOCores:      *fifoCores,
+			TimeLimit:      *limit,
+		}, invs)
+		if err != nil {
+			return err
+		}
+		resp, err := res.CDF(faassched.Response)
+		if err != nil {
+			return err
+		}
+		turn, err := res.CDF(faassched.Turnaround)
+		if err != nil {
+			return err
+		}
+		fig.AddRow(string(d),
+			fmt.Sprintf("%.1f", resp.Quantile(0.5)),
+			fmt.Sprintf("%.1f", resp.Quantile(0.99)),
+			fmt.Sprintf("%.1f", turn.Quantile(0.99)),
+			fmt.Sprintf("%.6f", res.CostUSD()),
+			fmt.Sprintf("%.3f", res.ImbalanceRatio()),
+			fmt.Sprintf("%.1f", res.Makespan.Seconds()),
+		)
+		fmt.Fprintf(stdout, "# %-16s simulated in %s | %s\n", d, time.Since(start).Round(time.Millisecond), res.Summary())
+		if !*compare {
+			printPerServer(stdout, res)
+		}
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, fig.Text())
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(fig.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+// printPerServer renders the per-server breakdown of one fleet run.
+func printPerServer(w io.Writer, res *faassched.ClusterResult) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-8s %-8s %-14s %s\n", "server", "invs", "busy", "makespan")
+	for _, sr := range res.PerServer {
+		fmt.Fprintf(&b, "  %-8d %-8d %-14s %s\n",
+			sr.Server, sr.Invocations,
+			sr.Set.TotalExecution().Round(time.Millisecond),
+			sr.Makespan.Round(time.Millisecond))
+	}
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad dispatch", []string{"-dispatch", "nope", "-minutes", "1", "-n", "50"}},
+		{"bad scheduler", []string{"-sched", "nope", "-minutes", "1", "-n", "50"}},
+		{"bad minutes", []string{"-minutes", "99"}},
+		{"bad servers", []string{"-servers", "-3", "-minutes", "1", "-n", "50"}},
+		{"positional args", []string{"extra"}},
+		{"missing workload file", []string{"-workload", "/nonexistent/w.csv"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tc.args, &out); err == nil {
+				t.Errorf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestSmallFleetRunPrintsTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-servers", "2", "-cores", "2", "-sched", "fifo",
+		"-dispatch", "round-robin", "-minutes", "1", "-n", "80",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"round-robin", "p99_response_ms", "cost_usd", "server"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCompareSweepsEveryDispatchAndWritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	var out strings.Builder
+	err := run([]string{
+		"-compare", "-servers", "3", "-cores", "2", "-sched", "cfs",
+		"-minutes", "1", "-n", "120", "-csv", csv,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"random", "round-robin", "least-loaded", "join-idle-queue"} {
+		if !strings.Contains(string(data), d) {
+			t.Errorf("CSV missing dispatch %s", d)
+		}
+	}
+}

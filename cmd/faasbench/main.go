@@ -11,34 +11,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"github.com/faassched/faassched/internal/cliutil"
 	"github.com/faassched/faassched/internal/experiments"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "faasbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("faasbench", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated experiment ids, or 'all' (see -list)")
-		scaleFlag  = flag.String("scale", "quick", "experiment scale: quick|full")
-		out        = flag.String("out", "", "directory to write per-experiment CSV files (optional)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		quiet      = flag.Bool("q", false, "suppress table output (still writes CSVs)")
+		experiment = fs.String("experiment", "all", "comma-separated experiment ids, or 'all' (see -list)")
+		scaleFlag  = fs.String("scale", "quick", "experiment scale: quick|full")
+		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")
 	)
-	flag.Parse()
+	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 		return nil
 	}
@@ -57,7 +62,7 @@ func run() error {
 	}
 
 	env := experiments.NewEnv(scale)
-	fmt.Printf("# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
+	fmt.Fprintf(stdout, "# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
 	for _, id := range ids {
 		start := time.Now()
 		fig, err := experiments.Run(env, strings.TrimSpace(id))
@@ -65,10 +70,10 @@ func run() error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		if !*quiet {
-			fmt.Println()
-			fmt.Print(fig.Text())
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, fig.Text())
 		}
-		fmt.Printf("# %s done in %s (%d rows)\n", fig.ID, time.Since(start).Round(time.Millisecond), len(fig.Rows))
+		fmt.Fprintf(stdout, "# %s done in %s (%d rows)\n", fig.ID, time.Since(start).Round(time.Millisecond), len(fig.Rows))
 		if *out != "" {
 			path := filepath.Join(*out, fig.ID+".csv")
 			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {

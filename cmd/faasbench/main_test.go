@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListPrintsExperimentIDs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "table1", "ext-cluster-dispatch"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad scale", []string{"-scale", "huge"}},
+		{"unknown experiment", []string{"-experiment", "fig99"}},
+		{"positional args", []string{"fig1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tc.args, &out); err == nil {
+				t.Errorf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestRunSingleExperimentWritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig10", "-scale", "quick", "-out", dir, "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig10 done") {
+		t.Errorf("output missing completion marker: %q", out.String())
+	}
+}

@@ -11,60 +11,50 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"github.com/faassched/faassched"
-	"github.com/faassched/faassched/internal/fib"
+	"github.com/faassched/faassched/internal/cliutil"
 	"github.com/faassched/faassched/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
 	var (
-		sched       = flag.String("sched", "hybrid", fmt.Sprintf("scheduler %v", faassched.Schedulers()))
-		cores       = flag.Int("cores", 8, "enclave core count")
-		minutes     = flag.Int("minutes", 2, "trace minutes to replay (synthetic workload)")
-		n           = flag.Int("n", 0, "stride-sample the workload to ~n invocations (0 = all)")
-		seed        = flag.Int64("seed", 1, "workload seed")
-		limit       = flag.Duration("limit", 0, "hybrid static time limit (default 1.633s)")
-		fifoCores   = flag.Int("fifo-cores", 0, "hybrid FIFO group size (default half)")
-		firecracker = flag.Bool("firecracker", false, "run invocations in simulated microVMs")
-		memMB       = flag.Int("server-mem-mb", 0, "server memory budget in Firecracker mode")
-		file        = flag.String("workload", "", "replay a workload file instead of synthesizing")
+		sched       = fs.String("sched", "hybrid", fmt.Sprintf("scheduler %v", faassched.Schedulers()))
+		cores       = fs.Int("cores", 8, "enclave core count")
+		minutes     = fs.Int("minutes", 2, "trace minutes to replay (synthetic workload)")
+		n           = fs.Int("n", 0, "stride-sample the workload to ~n invocations (0 = all)")
+		seed        = fs.Int64("seed", 1, "workload seed")
+		limit       = fs.Duration("limit", 0, "hybrid static time limit (default 1.633s)")
+		fifoCores   = fs.Int("fifo-cores", 0, "hybrid FIFO group size (default half)")
+		firecracker = fs.Bool("firecracker", false, "run invocations in simulated microVMs")
+		memMB       = fs.Int("server-mem-mb", 0, "server memory budget in Firecracker mode")
+		file        = fs.String("workload", "", "replay a workload file instead of synthesizing")
 	)
-	flag.Parse()
-
-	var invs []faassched.Invocation
-	var err error
-	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		invs, err = workload.Read(f, fib.DurationModel{})
-		if err != nil {
-			return err
-		}
-	} else {
-		invs, err = faassched.BuildWorkload(faassched.WorkloadSpec{
-			Seed:           *seed,
-			Minutes:        *minutes,
-			MaxInvocations: *n,
-		})
-		if err != nil {
-			return err
-		}
+	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
+		return err
 	}
 
-	fmt.Printf("workload: %d invocations spanning %s, total demand %s\n",
+	invs, err := faassched.LoadWorkload(*file, faassched.WorkloadSpec{
+		Seed:           *seed,
+		Minutes:        *minutes,
+		MaxInvocations: *n,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "workload: %d invocations spanning %s, total demand %s\n",
 		len(invs), invs[len(invs)-1].Arrival.Round(time.Second), workload.TotalWork(invs).Round(time.Second))
 
 	start := time.Now()
@@ -79,19 +69,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulated in %s\n\n", time.Since(start).Round(time.Millisecond))
-	fmt.Println(res.Summary())
+	fmt.Fprintf(stdout, "simulated in %s\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintln(stdout, res.Summary())
 	for _, m := range []faassched.Metric{faassched.Execution, faassched.Response, faassched.Turnaround} {
 		c, err := res.CDF(m)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-10s p50=%8.1fms p90=%8.1fms p99=%8.1fms max=%8.1fms\n",
+		fmt.Fprintf(stdout, "%-10s p50=%8.1fms p90=%8.1fms p99=%8.1fms max=%8.1fms\n",
 			m, c.Quantile(0.5), c.Quantile(0.9), c.Quantile(0.99), c.Max())
 	}
 	if *firecracker {
-		fmt.Printf("microVMs: %d launched, %d failed\n", res.LaunchedVMs, res.FailedVMs)
+		fmt.Fprintf(stdout, "microVMs: %d launched, %d failed\n", res.LaunchedVMs, res.FailedVMs)
 	}
-	fmt.Printf("cost at uniform 1GB: $%.6f\n", res.CostAtUniformMemoryUSD(1024))
+	fmt.Fprintf(stdout, "cost at uniform 1GB: $%.6f\n", res.CostAtUniformMemoryUSD(1024))
 	return nil
 }

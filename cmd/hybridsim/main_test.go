@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad scheduler", []string{"-sched", "nope", "-minutes", "1", "-n", "50"}},
+		{"bad minutes", []string{"-minutes", "99"}},
+		{"positional args", []string{"extra"}},
+		{"missing workload file", []string{"-workload", "/nonexistent/w.csv"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tc.args, &out); err == nil {
+				t.Errorf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestSmallRunPrintsMetrics(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sched", "fifo", "-cores", "2", "-minutes", "1", "-n", "80"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workload:", "fifo:", "execution", "cost at uniform 1GB"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -25,8 +25,10 @@ package faassched
 
 import (
 	"fmt"
+	"os"
 	"time"
 
+	"github.com/faassched/faassched/internal/cluster"
 	"github.com/faassched/faassched/internal/core"
 	"github.com/faassched/faassched/internal/fib"
 	"github.com/faassched/faassched/internal/firecracker"
@@ -39,6 +41,7 @@ import (
 	"github.com/faassched/faassched/internal/policy/shinjuku"
 	"github.com/faassched/faassched/internal/pricing"
 	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/simrun"
 	"github.com/faassched/faassched/internal/stats"
 	"github.com/faassched/faassched/internal/trace"
 	"github.com/faassched/faassched/internal/workload"
@@ -111,6 +114,20 @@ func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
 		invs = workload.Sample(invs, spec.MaxInvocations)
 	}
 	return invs, nil
+}
+
+// LoadWorkload covers the CLI pattern shared by the tools: replay the
+// workload file at path when non-empty, otherwise synthesize from spec.
+func LoadWorkload(path string, spec WorkloadSpec) ([]Invocation, error) {
+	if path == "" {
+		return BuildWorkload(spec)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.Read(f, fib.DurationModel{})
 }
 
 // Options configures a simulation.
@@ -247,11 +264,7 @@ func Simulate(opts Options, invs []Invocation) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	kernel, err := simkern.New(simkern.DefaultConfig(opts.Cores))
-	if err != nil {
-		return nil, err
-	}
-
+	add := simrun.AddTasks(workload.Tasks(invs))
 	var fleet *firecracker.Fleet
 	if opts.Firecracker {
 		fleet, err = firecracker.NewFleet(policy, firecracker.Config{ServerMemMB: opts.ServerMemMB})
@@ -259,26 +272,11 @@ func Simulate(opts Options, invs []Invocation) (*Result, error) {
 			return nil, err
 		}
 		policy = fleet
+		add = func(k *simkern.Kernel) error { return fleet.Launch(k, invs) }
 	}
-	if _, err := ghost.NewEnclave(kernel, policy, ghost.Config{}); err != nil {
+	kernel, err := simrun.Exec(simkern.DefaultConfig(opts.Cores), policy, ghost.Config{}, add)
+	if err != nil {
 		return nil, err
-	}
-	if opts.Firecracker {
-		if err := fleet.Launch(kernel, invs); err != nil {
-			return nil, err
-		}
-	} else {
-		for _, t := range workload.Tasks(invs) {
-			if err := kernel.AddTask(t); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if _, err := kernel.Run(0); err != nil {
-		return nil, err
-	}
-	if kernel.Outstanding() != 0 {
-		return nil, fmt.Errorf("faassched: %d tasks unfinished", kernel.Outstanding())
 	}
 	set := metrics.Collect(kernel)
 	res := &Result{
@@ -297,3 +295,133 @@ func Simulate(opts Options, invs []Invocation) (*Result, error) {
 // DurationModel re-exports the Fibonacci duration model for callers that
 // build custom workloads.
 func DurationModel() fib.DurationModel { return fib.DefaultModel() }
+
+// Dispatch re-exports the cluster-level dispatch policy selector.
+type Dispatch = cluster.Dispatch
+
+// Available dispatch policies.
+const (
+	DispatchRandom        = cluster.DispatchRandom
+	DispatchRoundRobin    = cluster.DispatchRoundRobin
+	DispatchLeastLoaded   = cluster.DispatchLeastLoaded
+	DispatchJoinIdleQueue = cluster.DispatchJoinIdleQueue
+)
+
+// Dispatches lists every selectable dispatch policy.
+func Dispatches() []Dispatch { return cluster.Dispatches() }
+
+// ClusterOptions configures a fleet simulation: Servers identical machines
+// of CoresPerServer cores each, every one running Scheduler, with Dispatch
+// routing each invocation to a server at its arrival time.
+type ClusterOptions struct {
+	// Servers is the fleet size. Zero means 4.
+	Servers int
+	// CoresPerServer is each server's enclave size. Zero means 8.
+	CoresPerServer int
+	// Dispatch picks the routing policy. Empty means DispatchLeastLoaded.
+	Dispatch Dispatch
+	// Scheduler is the per-server policy. Empty means SchedulerHybrid.
+	Scheduler Scheduler
+	// Seed drives the randomized dispatch policies. Zero means 1.
+	Seed int64
+	// FIFOCores overrides the hybrid's FIFO group size per server.
+	FIFOCores int
+	// TimeLimit overrides the hybrid's static preemption limit.
+	TimeLimit time.Duration
+}
+
+// ServerResult re-exports one server's share of a fleet simulation.
+type ServerResult = cluster.ServerResult
+
+// ClusterResult is a finished fleet simulation: the aggregate Result plus
+// the per-server breakdown and the dispatch assignment.
+type ClusterResult struct {
+	// Result aggregates the whole fleet (merged metric set, fleet-wide
+	// makespan, summed preemptions).
+	Result
+	// Dispatch that routed the workload.
+	Dispatch Dispatch
+	// Servers is the fleet size.
+	Servers int
+	// CoresPerServer is each server's enclave size.
+	CoresPerServer int
+	// PerServer holds each server's individual result, by fleet index.
+	PerServer []ServerResult
+	// Assignment maps each input invocation index to its server.
+	Assignment []int
+}
+
+// ImbalanceRatio reports max-over-mean busy work across servers (1.0 is a
+// perfectly even split).
+func (r *ClusterResult) ImbalanceRatio() float64 { return cluster.Imbalance(r.PerServer) }
+
+// Summary returns a one-line digest of the fleet run.
+func (r *ClusterResult) Summary() string {
+	return fmt.Sprintf("cluster[%d×%d %s] %s", r.Servers, r.CoresPerServer, r.Dispatch, r.Result.Summary())
+}
+
+// SimulateCluster routes invs across a fleet and simulates every server
+// concurrently (one goroutine per server; results are deterministic for
+// given inputs regardless of interleaving).
+func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, error) {
+	if opts.Servers == 0 {
+		opts.Servers = 4
+	}
+	if opts.Servers < 1 {
+		return nil, fmt.Errorf("faassched: Servers must be >= 1, got %d", opts.Servers)
+	}
+	if opts.CoresPerServer == 0 {
+		opts.CoresPerServer = 8
+	}
+	if opts.CoresPerServer < 2 {
+		return nil, fmt.Errorf("faassched: need at least 2 cores per server, got %d", opts.CoresPerServer)
+	}
+	if opts.Scheduler == "" {
+		opts.Scheduler = SchedulerHybrid
+	}
+	if opts.Dispatch == "" {
+		opts.Dispatch = DispatchLeastLoaded
+	}
+	if len(invs) == 0 {
+		return nil, fmt.Errorf("faassched: empty workload")
+	}
+	serverOpts := Options{
+		Cores:     opts.CoresPerServer,
+		Scheduler: opts.Scheduler,
+		FIFOCores: opts.FIFOCores,
+		TimeLimit: opts.TimeLimit,
+	}
+	// Validate the per-server configuration once, up front.
+	if _, err := newPolicy(serverOpts); err != nil {
+		return nil, err
+	}
+	cres, err := cluster.Simulate(cluster.Config{
+		Servers:  opts.Servers,
+		Dispatch: opts.Dispatch,
+		Seed:     opts.Seed,
+		Kernel:   simkern.DefaultConfig(opts.CoresPerServer),
+		Policy: func() ghost.Policy {
+			p, err := newPolicy(serverOpts)
+			if err != nil {
+				return nil // unreachable: serverOpts validated above
+			}
+			return p
+		},
+	}, invs)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterResult{
+		Result: Result{
+			Scheduler:   opts.Scheduler,
+			Set:         cres.Set,
+			Makespan:    cres.Makespan,
+			Preemptions: cres.Preemptions,
+		},
+		Dispatch:       cres.Dispatch,
+		Servers:        cres.Servers,
+		CoresPerServer: opts.CoresPerServer,
+		PerServer:      cres.PerServer,
+		Assignment:     cres.Assignment,
+	}, nil
+}

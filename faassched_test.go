@@ -6,9 +6,15 @@ import (
 	"time"
 )
 
+// smallWorkload sizes down further in -short mode: fewer invocations and a
+// one-minute span, which is what bounds the simulated-time tick work.
 func smallWorkload(t *testing.T) []Invocation {
 	t.Helper()
-	invs, err := BuildWorkload(WorkloadSpec{Minutes: 2, MaxInvocations: 300})
+	spec := WorkloadSpec{Minutes: 2, MaxInvocations: 300}
+	if testing.Short() {
+		spec = WorkloadSpec{Minutes: 1, MaxInvocations: 150}
+	}
+	invs, err := BuildWorkload(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +42,7 @@ func TestBuildWorkloadValidation(t *testing.T) {
 }
 
 func TestSimulateEverySchedulerCompletes(t *testing.T) {
+	t.Parallel()
 	invs := smallWorkload(t)
 	for _, s := range Schedulers() {
 		s := s
@@ -68,21 +75,172 @@ func TestSimulateEverySchedulerCompletes(t *testing.T) {
 
 func TestSimulateValidation(t *testing.T) {
 	invs := smallWorkload(t)
-	if _, err := Simulate(Options{Scheduler: "bogus"}, invs); err == nil {
-		t.Error("unknown scheduler accepted")
+	cases := []struct {
+		name string
+		opts Options
+		invs []Invocation
+	}{
+		{"unknown scheduler", Options{Scheduler: "bogus"}, invs},
+		{"1 core", Options{Cores: 1}, invs},
+		{"negative cores", Options{Cores: -4}, invs},
+		{"empty workload", Options{}, nil},
+		{"hybrid with no CFS cores", Options{Scheduler: SchedulerHybrid, Cores: 4, FIFOCores: 4}, invs},
+		{"hybrid with FIFO overflow", Options{Scheduler: SchedulerHybrid, Cores: 4, FIFOCores: 9}, invs},
+		{"negative time limit", Options{Scheduler: SchedulerHybrid, Cores: 4, TimeLimit: -time.Second}, invs},
 	}
-	if _, err := Simulate(Options{Cores: 1}, invs); err == nil {
-		t.Error("1 core accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Simulate(tc.opts, tc.invs); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
 	}
-	if _, err := Simulate(Options{}, nil); err == nil {
-		t.Error("empty workload accepted")
+}
+
+func TestBuildWorkloadMinutesValidation(t *testing.T) {
+	for _, minutes := range []int{-1, 11, 99} {
+		if _, err := BuildWorkload(WorkloadSpec{Minutes: minutes}); err == nil {
+			t.Errorf("Minutes=%d accepted", minutes)
+		}
 	}
-	if _, err := Simulate(Options{Scheduler: SchedulerHybrid, Cores: 4, FIFOCores: 4}, invs); err == nil {
-		t.Error("hybrid with no CFS cores accepted")
+}
+
+// TestSimulateDeterministic: same seed + same Options must produce an
+// identical Summary across two runs, for every scheduler.
+func TestSimulateDeterministic(t *testing.T) {
+	t.Parallel()
+	invs := smallWorkload(t)
+	for _, s := range Schedulers() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			run := func() string {
+				res, err := Simulate(Options{Cores: 4, Scheduler: s}, invs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Summary()
+			}
+			if a, b := run(), run(); a != b {
+				t.Errorf("nondeterministic result:\n%s\n%s", a, b)
+			}
+		})
+	}
+}
+
+func TestSimulateClusterValidation(t *testing.T) {
+	invs := smallWorkload(t)
+	cases := []struct {
+		name string
+		opts ClusterOptions
+		invs []Invocation
+	}{
+		{"negative servers", ClusterOptions{Servers: -1}, invs},
+		{"1 core per server", ClusterOptions{CoresPerServer: 1}, invs},
+		{"unknown scheduler", ClusterOptions{Scheduler: "bogus"}, invs},
+		{"unknown dispatch", ClusterOptions{Dispatch: "bogus"}, invs},
+		{"empty workload", ClusterOptions{}, nil},
+		{"hybrid with no CFS cores", ClusterOptions{CoresPerServer: 4, FIFOCores: 4}, invs},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := SimulateCluster(tc.opts, tc.invs); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestSimulateClusterEverySchedulerAndDispatch(t *testing.T) {
+	t.Parallel()
+	invs := smallWorkload(t)
+	for _, s := range Schedulers() {
+		for _, d := range Dispatches() {
+			s, d := s, d
+			t.Run(string(s)+"/"+string(d), func(t *testing.T) {
+				t.Parallel()
+				res, err := SimulateCluster(ClusterOptions{
+					Servers:        3,
+					CoresPerServer: 2,
+					Scheduler:      s,
+					Dispatch:       d,
+				}, invs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := len(res.Set.Completed()); got != len(invs) {
+					t.Fatalf("completed %d of %d", got, len(invs))
+				}
+				if len(res.PerServer) != 3 || len(res.Assignment) != len(invs) {
+					t.Error("missing per-server breakdown or assignment")
+				}
+				if !strings.Contains(res.Summary(), string(d)) || !strings.Contains(res.Summary(), string(s)) {
+					t.Errorf("summary %q missing dispatch/scheduler", res.Summary())
+				}
+				if res.CostUSD() <= 0 {
+					t.Error("non-positive cost")
+				}
+				if r := res.ImbalanceRatio(); r < 1 {
+					t.Errorf("imbalance ratio %.3f < 1", r)
+				}
+			})
+		}
+	}
+}
+
+// TestSimulateClusterDeterministic: a seeded 16-server fleet must be
+// bit-for-bit reproducible despite goroutine-per-server simulation.
+func TestSimulateClusterDeterministic(t *testing.T) {
+	t.Parallel()
+	invs := smallWorkload(t)
+	for _, d := range Dispatches() {
+		d := d
+		t.Run(string(d), func(t *testing.T) {
+			t.Parallel()
+			run := func() string {
+				res, err := SimulateCluster(ClusterOptions{
+					Servers:        16,
+					CoresPerServer: 2,
+					Dispatch:       d,
+					Scheduler:      SchedulerHybrid,
+					Seed:           42,
+				}, invs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := res.Summary()
+				for _, sr := range res.PerServer {
+					sum += "|" + sr.Set.Summary()
+				}
+				for _, s := range res.Assignment {
+					sum += string(rune('a' + s))
+				}
+				return sum
+			}
+			if a, b := run(), run(); a != b {
+				t.Errorf("nondeterministic cluster result for %s:\n%s\n%s", d, a, b)
+			}
+		})
+	}
+}
+
+func TestSimulateClusterDefaults(t *testing.T) {
+	t.Parallel()
+	invs := smallWorkload(t)
+	res, err := SimulateCluster(ClusterOptions{}, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 4 || res.CoresPerServer != 8 {
+		t.Errorf("defaults = %d servers × %d cores", res.Servers, res.CoresPerServer)
+	}
+	if res.Scheduler != SchedulerHybrid || res.Dispatch != DispatchLeastLoaded {
+		t.Errorf("defaults = %s, %s", res.Scheduler, res.Dispatch)
 	}
 }
 
 func TestSimulateDefaultsToHybrid(t *testing.T) {
+	t.Parallel()
 	invs := smallWorkload(t)
 	res, err := Simulate(Options{}, invs)
 	if err != nil {
@@ -94,6 +252,10 @@ func TestSimulateDefaultsToHybrid(t *testing.T) {
 }
 
 func TestSimulateCostOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: shape assertion needs the full quick workload")
+	}
+	t.Parallel()
 	// The paper's headline through the public API: CFS costs a multiple of
 	// the hybrid and of FIFO.
 	invs, err := BuildWorkload(WorkloadSpec{Minutes: 2, MaxInvocations: 1000})
@@ -117,6 +279,7 @@ func TestSimulateCostOrdering(t *testing.T) {
 }
 
 func TestSimulateFirecrackerMode(t *testing.T) {
+	t.Parallel()
 	invs := smallWorkload(t)
 	res, err := Simulate(Options{
 		Cores:       4,

@@ -1,0 +1,3 @@
+module github.com/faassched/faassched
+
+go 1.24

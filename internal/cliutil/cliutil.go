@@ -1,0 +1,34 @@
+// Package cliutil holds the flag handling shared by the command-line
+// tools: -h prints usage to stdout and exits cleanly, parse errors carry
+// the offending detail plus usage so main can surface them on stderr, and
+// stray positional arguments are rejected.
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse runs fs over args. done=true means -h/-help was requested and
+// usage has been written to stdout; the caller should return nil. A parse
+// error comes back with the specific message and usage text included, so
+// printing it to stderr loses nothing even when stdout is redirected.
+func Parse(fs *flag.FlagSet, args []string, stdout io.Writer) (done bool, err error) {
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	switch err := fs.Parse(args); {
+	case errors.Is(err, flag.ErrHelp):
+		_, _ = io.Copy(stdout, &buf)
+		return true, nil
+	case err != nil:
+		return false, errors.New(strings.TrimSpace(buf.String()))
+	}
+	if fs.NArg() > 0 {
+		return false, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return false, nil
+}

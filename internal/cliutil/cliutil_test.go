@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.Int("n", 1, "a number")
+	return fs
+}
+
+func TestHelpGoesToStdout(t *testing.T) {
+	var out strings.Builder
+	done, err := Parse(newSet(), []string{"-h"}, &out)
+	if !done || err != nil {
+		t.Fatalf("Parse(-h) = %v, %v", done, err)
+	}
+	if !strings.Contains(out.String(), "Usage of tool") || !strings.Contains(out.String(), "a number") {
+		t.Errorf("usage missing from stdout: %q", out.String())
+	}
+}
+
+func TestParseErrorCarriesDetailAndUsage(t *testing.T) {
+	var out strings.Builder
+	done, err := Parse(newSet(), []string{"-bogus"}, &out)
+	if done || err == nil {
+		t.Fatalf("Parse(-bogus) = %v, %v", done, err)
+	}
+	if !strings.Contains(err.Error(), "-bogus") || !strings.Contains(err.Error(), "Usage of tool") {
+		t.Errorf("error lost detail: %q", err)
+	}
+	if out.String() != "" {
+		t.Errorf("parse error leaked to stdout: %q", out.String())
+	}
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	var out strings.Builder
+	if done, err := Parse(newSet(), []string{"-n", "2", "extra"}, &out); done || err == nil {
+		t.Fatalf("positional args accepted: %v, %v", done, err)
+	}
+}
+
+func TestCleanParse(t *testing.T) {
+	fs := newSet()
+	var out strings.Builder
+	done, err := Parse(fs, []string{"-n", "7"}, &out)
+	if done || err != nil {
+		t.Fatalf("Parse = %v, %v", done, err)
+	}
+	if got := fs.Lookup("n").Value.String(); got != "7" {
+		t.Errorf("n = %s", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package cluster scales the single-enclave simulation out to a fleet: N
+// independent servers, each its own simkern.Kernel plus ghost enclave
+// running a per-server scheduling policy, fronted by a dispatch policy
+// that routes every invocation to one server at its arrival time.
+//
+// Dispatch happens first and is fully deterministic (the dispatcher sees
+// only its own causal load model, never simulated server state), so the
+// per-server simulations are independent and run concurrently — one
+// goroutine per server — with a deterministic merge of the per-server
+// metric sets afterwards. Wall-clock therefore scales with available host
+// cores, not with fleet size. See DESIGN.md §5.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/simrun"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// Config configures a fleet simulation.
+type Config struct {
+	// Servers is the fleet size. Must be >= 1.
+	Servers int
+	// Dispatch picks the routing policy. Empty means DispatchLeastLoaded.
+	Dispatch Dispatch
+	// Seed drives the randomized dispatch policies. Zero means 1.
+	Seed int64
+	// Kernel is the per-server machine configuration (cores, switch cost,
+	// …). Every server gets an identical machine.
+	Kernel simkern.Config
+	// Policy returns a fresh per-server scheduling policy. It is called
+	// once per server, sequentially, before simulation starts.
+	Policy func() ghost.Policy
+	// Ghost configures each server's delegation enclave.
+	Ghost ghost.Config
+}
+
+// ServerResult is one server's share of a fleet simulation.
+type ServerResult struct {
+	// Server is the fleet index.
+	Server int
+	// Invocations is how many invocations were routed here.
+	Invocations int
+	// Set holds this server's per-invocation records.
+	Set metrics.Set
+	// Makespan is this server's last completion time.
+	Makespan time.Duration
+	// Preemptions is this server's total preemption count.
+	Preemptions int
+}
+
+// Result is a finished fleet simulation.
+type Result struct {
+	// Dispatch that routed the workload.
+	Dispatch Dispatch
+	// Servers is the fleet size.
+	Servers int
+	// Set merges every server's records, ordered by invocation index
+	// (Record.ID is 1 + the index into the input slice).
+	Set metrics.Set
+	// Makespan is the fleet-wide last completion time.
+	Makespan time.Duration
+	// Preemptions sums preemptions across servers.
+	Preemptions int
+	// PerServer holds each server's individual result, by fleet index.
+	PerServer []ServerResult
+	// Assignment maps each input invocation index to its server.
+	Assignment []int
+}
+
+// Imbalance reports max-over-mean busy work across servers: 1.0 is a
+// perfectly even split, higher means the dispatch policy concentrated
+// load. It returns 0 when the fleet did no work.
+func Imbalance(perServer []ServerResult) float64 {
+	var total, max time.Duration
+	for _, s := range perServer {
+		w := s.Set.TotalExecution()
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(perServer))
+	return float64(max) / mean
+}
+
+// ImbalanceRatio reports Imbalance over this result's servers.
+func (r *Result) ImbalanceRatio() float64 { return Imbalance(r.PerServer) }
+
+// routed is one invocation with its global index.
+type routed struct {
+	inv workload.Invocation
+	idx int
+}
+
+// Simulate routes invs across the fleet and simulates every server.
+func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("cluster: Servers must be >= 1, got %d", cfg.Servers)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cluster: nil Policy factory")
+	}
+	if len(invs) == 0 {
+		return nil, fmt.Errorf("cluster: empty workload")
+	}
+	if cfg.Kernel.Cores < 1 {
+		return nil, fmt.Errorf("cluster: Kernel.Cores must be >= 1, got %d", cfg.Kernel.Cores)
+	}
+	if cfg.Dispatch == "" {
+		cfg.Dispatch = DispatchLeastLoaded
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	for i := 1; i < len(invs); i++ {
+		if invs[i].Arrival < invs[i-1].Arrival {
+			return nil, fmt.Errorf("cluster: invocations not sorted by arrival at index %d", i)
+		}
+	}
+
+	// Phase 1: route every invocation, in arrival order, deterministically.
+	model := newFleetModel(cfg.Servers, cfg.Kernel.Cores)
+	disp, err := newDispatcher(cfg.Dispatch, cfg.Servers, cfg.Seed, model)
+	if err != nil {
+		return nil, err
+	}
+	assignment := make([]int, len(invs))
+	perServer := make([][]routed, cfg.Servers)
+	for i, inv := range invs {
+		s := disp.pick(inv)
+		if s < 0 || s >= cfg.Servers {
+			return nil, fmt.Errorf("cluster: dispatch %q picked server %d of %d", cfg.Dispatch, s, cfg.Servers)
+		}
+		model.assign(s, inv)
+		assignment[i] = s
+		perServer[s] = append(perServer[s], routed{inv: inv, idx: i})
+	}
+
+	// Policies are built sequentially so factories need not be
+	// goroutine-safe.
+	policies := make([]ghost.Policy, cfg.Servers)
+	for s := range policies {
+		if policies[s] = cfg.Policy(); policies[s] == nil {
+			return nil, fmt.Errorf("cluster: Policy factory returned nil for server %d", s)
+		}
+	}
+
+	// Phase 2: simulate every server concurrently.
+	results := make([]ServerResult, cfg.Servers)
+	errs := make([]error, cfg.Servers)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Servers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = runServer(s, cfg, policies[s], perServer[s])
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: server %d: %w", s, err)
+		}
+	}
+
+	// Deterministic merge: concatenate per-server sets, then restore the
+	// global invocation order by ID.
+	res := &Result{
+		Dispatch:   cfg.Dispatch,
+		Servers:    cfg.Servers,
+		PerServer:  results,
+		Assignment: assignment,
+	}
+	for _, sr := range results {
+		res.Set.Records = append(res.Set.Records, sr.Set.Records...)
+		res.Preemptions += sr.Preemptions
+		if sr.Makespan > res.Makespan {
+			res.Makespan = sr.Makespan
+		}
+	}
+	sort.Slice(res.Set.Records, func(i, j int) bool {
+		return res.Set.Records[i].ID < res.Set.Records[j].ID
+	})
+	return res, nil
+}
+
+// runServer simulates one server's routed share on a fresh kernel.
+func runServer(s int, cfg Config, policy ghost.Policy, share []routed) (ServerResult, error) {
+	out := ServerResult{Server: s, Invocations: len(share)}
+	if len(share) == 0 {
+		return out, nil
+	}
+	tasks := make([]*simkern.Task, 0, len(share))
+	for _, r := range share {
+		tasks = append(tasks, workload.Task(r.inv, simkern.TaskID(r.idx+1)))
+	}
+	k, err := simrun.Exec(cfg.Kernel, policy, cfg.Ghost, simrun.AddTasks(tasks))
+	if err != nil {
+		return out, err
+	}
+	out.Set = metrics.Collect(k)
+	out.Makespan = k.Makespan()
+	out.Preemptions = out.Set.TotalPreemptions()
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// Dispatch names a cluster-level dispatch policy: the rule the front-end
+// load balancer uses to route each arriving invocation to one server.
+type Dispatch string
+
+// Available dispatch policies.
+const (
+	// DispatchRandom routes uniformly at random (seeded, reproducible).
+	DispatchRandom Dispatch = "random"
+	// DispatchRoundRobin cycles through servers in index order.
+	DispatchRoundRobin Dispatch = "round-robin"
+	// DispatchLeastLoaded routes to the server with the least outstanding
+	// dispatched work at the invocation's arrival instant.
+	DispatchLeastLoaded Dispatch = "least-loaded"
+	// DispatchJoinIdleQueue routes to the server that has been idle
+	// longest; when no server is idle it falls back to a seeded random
+	// choice (classic JIQ, Lu et al.).
+	DispatchJoinIdleQueue Dispatch = "join-idle-queue"
+)
+
+// Dispatches lists every dispatch policy in stable order.
+func Dispatches() []Dispatch {
+	return []Dispatch{
+		DispatchRandom, DispatchRoundRobin, DispatchLeastLoaded, DispatchJoinIdleQueue,
+	}
+}
+
+// fleetModel is the dispatcher's causal view of per-server load. Real
+// front-ends never see the instantaneous core-level state of every server;
+// they track what they have dispatched. The model treats each server as
+// Cores FIFO lanes: an invocation routed to a server occupies the lane
+// that frees earliest, from max(arrival, laneFree) until +Duration. This
+// keeps routing deterministic and independent of how the per-server
+// simulations interleave, which is what lets servers simulate
+// concurrently (see DESIGN.md §5).
+type fleetModel struct {
+	laneFree [][]time.Duration // [server][lane] -> time the lane frees
+}
+
+func newFleetModel(servers, cores int) *fleetModel {
+	m := &fleetModel{laneFree: make([][]time.Duration, servers)}
+	for s := range m.laneFree {
+		m.laneFree[s] = make([]time.Duration, cores)
+	}
+	return m
+}
+
+// outstanding returns server s's dispatched-but-unfinished work at time now
+// under the lane model.
+func (m *fleetModel) outstanding(s int, now time.Duration) time.Duration {
+	var sum time.Duration
+	for _, free := range m.laneFree[s] {
+		if free > now {
+			sum += free - now
+		}
+	}
+	return sum
+}
+
+// idleSince returns when server s last became idle (the instant its last
+// lane freed) and whether it is idle at time now.
+func (m *fleetModel) idleSince(s int, now time.Duration) (time.Duration, bool) {
+	var last time.Duration
+	for _, free := range m.laneFree[s] {
+		if free > now {
+			return 0, false
+		}
+		if free > last {
+			last = free
+		}
+	}
+	return last, true
+}
+
+// assign books inv onto server s's earliest-freeing lane.
+func (m *fleetModel) assign(s int, inv workload.Invocation) {
+	lanes := m.laneFree[s]
+	best := 0
+	for l := 1; l < len(lanes); l++ {
+		if lanes[l] < lanes[best] {
+			best = l
+		}
+	}
+	start := inv.Arrival
+	if lanes[best] > start {
+		start = lanes[best]
+	}
+	lanes[best] = start + inv.Duration
+}
+
+// dispatcher routes one invocation at a time. pick is called in arrival
+// order; the caller books the chosen server into the shared fleetModel
+// afterwards, so implementations observe the load their own earlier
+// decisions created.
+type dispatcher interface {
+	pick(inv workload.Invocation) int
+}
+
+type randomDispatch struct {
+	rng     *rand.Rand
+	servers int
+}
+
+func (d *randomDispatch) pick(workload.Invocation) int { return d.rng.Intn(d.servers) }
+
+type roundRobinDispatch struct {
+	next    int
+	servers int
+}
+
+func (d *roundRobinDispatch) pick(workload.Invocation) int {
+	s := d.next
+	d.next = (d.next + 1) % d.servers
+	return s
+}
+
+type leastLoadedDispatch struct {
+	model *fleetModel
+}
+
+func (d *leastLoadedDispatch) pick(inv workload.Invocation) int {
+	best, bestLoad := 0, time.Duration(-1)
+	for s := range d.model.laneFree {
+		load := d.model.outstanding(s, inv.Arrival)
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = s, load
+		}
+	}
+	return best
+}
+
+type joinIdleQueueDispatch struct {
+	model *fleetModel
+	rng   *rand.Rand
+}
+
+func (d *joinIdleQueueDispatch) pick(inv workload.Invocation) int {
+	best, bestSince, found := 0, time.Duration(0), false
+	for s := range d.model.laneFree {
+		since, idle := d.model.idleSince(s, inv.Arrival)
+		if !idle {
+			continue
+		}
+		if !found || since < bestSince {
+			best, bestSince, found = s, since, true
+		}
+	}
+	if found {
+		return best
+	}
+	return d.rng.Intn(len(d.model.laneFree))
+}
+
+// newDispatcher constructs the dispatcher for d over servers sharing model.
+func newDispatcher(d Dispatch, servers int, seed int64, model *fleetModel) (dispatcher, error) {
+	switch d {
+	case DispatchRandom:
+		return &randomDispatch{rng: rand.New(rand.NewSource(seed)), servers: servers}, nil
+	case DispatchRoundRobin:
+		return &roundRobinDispatch{servers: servers}, nil
+	case DispatchLeastLoaded:
+		return &leastLoadedDispatch{model: model}, nil
+	case DispatchJoinIdleQueue:
+		return &joinIdleQueueDispatch{model: model, rng: rand.New(rand.NewSource(seed))}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown dispatch policy %q (have %v)", d, Dispatches())
+	}
+}

@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/faassched/faassched/internal/core"
@@ -27,6 +28,7 @@ import (
 	"github.com/faassched/faassched/internal/policy/shinjuku"
 	"github.com/faassched/faassched/internal/pricing"
 	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/simrun"
 	"github.com/faassched/faassched/internal/stats"
 	"github.com/faassched/faassched/internal/trace"
 	"github.com/faassched/faassched/internal/workload"
@@ -69,7 +71,9 @@ func ParseScale(s string) (Scale, error) {
 
 // Env is the shared experiment environment: the synthesized trace, the
 // derived workloads, and the pricing model. Workload construction is
-// cached — every experiment sees identical inputs.
+// cached — every experiment sees identical inputs — and guarded by a
+// mutex, so one Env may be shared by experiments running in parallel
+// (e.g. t.Parallel subtests).
 type Env struct {
 	Scale  Scale
 	Cores  int
@@ -77,6 +81,13 @@ type Env struct {
 	Tariff pricing.Tariff
 	Model  fib.DurationModel
 
+	// W2Max / W10Max optionally cap the derived workloads below the scale
+	// defaults (the test suite uses them for -short runs). Zero means the
+	// scale default.
+	W2Max  int
+	W10Max int
+
+	mu  sync.Mutex
 	tr  *trace.Trace
 	w2  []workload.Invocation
 	w10 []workload.Invocation
@@ -111,6 +122,12 @@ func NewEnv(scale Scale) *Env {
 // Trace returns the underlying synthetic Azure-calibrated trace (10
 // minutes at pre-downscale volume).
 func (e *Env) Trace() (*trace.Trace, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.traceLocked()
+}
+
+func (e *Env) traceLocked() (*trace.Trace, error) {
 	if e.tr != nil {
 		return e.tr, nil
 	}
@@ -128,10 +145,12 @@ func (e *Env) Trace() (*trace.Trace, error) {
 // W2 returns the paper's main workload: the first two minutes of the
 // derived trace (12,442 invocations at full scale).
 func (e *Env) W2() ([]workload.Invocation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.w2 != nil {
 		return e.w2, nil
 	}
-	tr, err := e.Trace()
+	tr, err := e.traceLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -140,20 +159,26 @@ func (e *Env) W2() ([]workload.Invocation, error) {
 		return nil, err
 	}
 	if e.Scale == ScaleFull {
-		e.w2 = workload.TakeN(invs, fullW2Target)
+		invs = workload.TakeN(invs, fullW2Target)
 	} else {
-		e.w2 = workload.Sample(invs, quickW2Target)
+		invs = workload.Sample(invs, quickW2Target)
 	}
+	if e.W2Max > 0 {
+		invs = workload.Sample(invs, e.W2Max)
+	}
+	e.w2 = invs
 	return e.w2, nil
 }
 
 // W10 returns the ten-minute workload used by the utilization and
 // rightsizing experiments.
 func (e *Env) W10() ([]workload.Invocation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.w10 != nil {
 		return e.w10, nil
 	}
-	tr, err := e.Trace()
+	tr, err := e.traceLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +192,9 @@ func (e *Env) W10() ([]workload.Invocation, error) {
 	}
 	if e.Scale == ScaleQuick {
 		invs = workload.Sample(invs, quickW10Target)
+	}
+	if e.W10Max > 0 {
+		invs = workload.Sample(invs, e.W10Max)
 	}
 	e.w10 = invs
 	return e.w10, nil
@@ -213,23 +241,9 @@ func (e *Env) RunPolicy(policy ghost.Policy, invs []workload.Invocation, recordU
 // RunPolicyWith is RunPolicy with explicit kernel and delegation configs —
 // the ablation experiments use it to sweep substrate parameters.
 func (e *Env) RunPolicyWith(policy ghost.Policy, invs []workload.Invocation, kcfg simkern.Config, gcfg ghost.Config) (*RunOutput, error) {
-	k, err := simkern.New(kcfg)
+	k, err := simrun.Exec(kcfg, policy, gcfg, simrun.AddTasks(workload.Tasks(invs)))
 	if err != nil {
 		return nil, err
-	}
-	if _, err := ghost.NewEnclave(k, policy, gcfg); err != nil {
-		return nil, err
-	}
-	for _, t := range workload.Tasks(invs) {
-		if err := k.AddTask(t); err != nil {
-			return nil, err
-		}
-	}
-	if _, err := k.Run(0); err != nil {
-		return nil, err
-	}
-	if k.Outstanding() != 0 {
-		return nil, fmt.Errorf("experiments: %d tasks unfinished under %s", k.Outstanding(), policy.Name())
 	}
 	return &RunOutput{Kernel: k, Set: metrics.Collect(k), Policy: policy}, nil
 }

@@ -3,12 +3,37 @@ package experiments
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// sharedEnv caches one quick-scale environment across tests: workload
-// construction dominates otherwise.
-var sharedEnv = NewEnv(ScaleQuick)
+var (
+	envOnce   sync.Once
+	sharedEnv *Env
+)
+
+// testEnv returns the one quick-scale environment shared across tests
+// (workload construction dominates otherwise). In -short mode the derived
+// workloads are capped well below the quick-scale defaults, which is what
+// keeps the full experiment sweep inside the -short time budget. The
+// caches are pre-warmed so parallel subtests only read.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		sharedEnv = NewEnv(ScaleQuick)
+		if testing.Short() {
+			sharedEnv.W2Max = 400
+			sharedEnv.W10Max = 600
+		}
+		if _, err := sharedEnv.W2(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharedEnv.W10(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return sharedEnv
+}
 
 func TestScaleParsing(t *testing.T) {
 	if s, err := ParseScale("quick"); err != nil || s != ScaleQuick {
@@ -51,11 +76,12 @@ func TestEnvWorkloadsCachedAndSized(t *testing.T) {
 }
 
 func TestP90LimitReasonable(t *testing.T) {
-	invs, err := sharedEnv.W2()
+	e := testEnv(t)
+	invs, err := e.W2()
 	if err != nil {
 		t.Fatal(err)
 	}
-	limit := sharedEnv.P90Limit(invs)
+	limit := e.P90Limit(invs)
 	// The paper's p90 is 1,633 ms; ours should land in the same decade.
 	if limit.Milliseconds() < 300 || limit.Milliseconds() > 6000 {
 		t.Errorf("p90 limit = %v, want on the order of 1.6s", limit)
@@ -68,7 +94,7 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "table1",
 		"ablation-cachepenalty", "ablation-mingran", "ablation-msglatency",
-		"ablation-switchcost", "ext-vmthreads", "table1i",
+		"ablation-switchcost", "ext-cluster-dispatch", "ext-vmthreads", "table1i",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -85,15 +111,17 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 }
 
 // TestAllExperimentsRunQuick executes every registered experiment at quick
-// scale — the end-to-end integration test of the whole stack.
+// scale — the end-to-end integration test of the whole stack. In -short
+// mode it still covers every experiment, on the capped workloads from
+// testEnv; subtests are independent (each builds its own kernels) and run
+// in parallel.
 func TestAllExperimentsRunQuick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("short mode")
-	}
+	e := testEnv(t)
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			fig, err := Run(sharedEnv, id)
+			t.Parallel()
+			fig, err := Run(e, id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,9 +142,9 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 // FIFO on the main workload.
 func TestFig1CostShape(t *testing.T) {
 	if testing.Short() {
-		t.Skip("short mode")
+		t.Skip("short mode: shape assertions need the full quick workload")
 	}
-	fig, err := Run(sharedEnv, "fig1")
+	fig, err := Run(testEnv(t), "fig1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,9 +162,9 @@ func TestFig1CostShape(t *testing.T) {
 // TestTable1Shape asserts Table I's ordering claims.
 func TestTable1Shape(t *testing.T) {
 	if testing.Short() {
-		t.Skip("short mode")
+		t.Skip("short mode: shape assertions need the full quick workload")
 	}
-	fig, err := Run(sharedEnv, "table1")
+	fig, err := Run(testEnv(t), "table1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,9 +209,9 @@ func TestTable1Shape(t *testing.T) {
 // Firecracker, with a smaller margin than plain processes (paper: ~10%).
 func TestFig22FirecrackerSavings(t *testing.T) {
 	if testing.Short() {
-		t.Skip("short mode")
+		t.Skip("short mode: shape assertions need the full quick workload")
 	}
-	fig, err := Run(sharedEnv, "fig22")
+	fig, err := Run(testEnv(t), "fig22")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,7 @@ var registry = map[string]Runner{
 	"ablation-msglatency":   AblationMsgLatency,
 	"table1i":               Table1Interference,
 	"ext-vmthreads":         ExtVMThreads,
+	"ext-cluster-dispatch":  ExtClusterDispatch,
 }
 
 // IDs returns every experiment id in stable order: the paper's figures

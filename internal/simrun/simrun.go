@@ -1,0 +1,48 @@
+// Package simrun wires one simulated machine together — kernel, delegation
+// enclave, work — and runs it to completion. It is the scaffold shared by
+// the public facade, the experiment harness, and the cluster layer, so the
+// run protocol (enclave before work, drain fully, fail on unfinished
+// tasks) lives in exactly one place.
+package simrun
+
+import (
+	"fmt"
+
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/simkern"
+)
+
+// Exec builds a kernel from kcfg, attaches policy through a delegation
+// enclave, seeds work with add, and processes events until the machine
+// drains. It errors if any task is left unfinished.
+func Exec(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, add func(*simkern.Kernel) error) (*simkern.Kernel, error) {
+	k, err := simkern.New(kcfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ghost.NewEnclave(k, policy, gcfg); err != nil {
+		return nil, err
+	}
+	if err := add(k); err != nil {
+		return nil, err
+	}
+	if _, err := k.Run(0); err != nil {
+		return nil, err
+	}
+	if n := k.Outstanding(); n != 0 {
+		return nil, fmt.Errorf("simrun: %d tasks unfinished under %s", n, policy.Name())
+	}
+	return k, nil
+}
+
+// AddTasks adapts a task list to Exec's seeding hook.
+func AddTasks(tasks []*simkern.Task) func(*simkern.Kernel) error {
+	return func(k *simkern.Kernel) error {
+		for _, t := range tasks {
+			if err := k.AddTask(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

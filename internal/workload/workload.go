@@ -186,20 +186,25 @@ func DurationCDF(invs []Invocation) (stats.CDF, error) {
 	return stats.NewCDF(vals)
 }
 
+// Task converts one invocation into a simulator task with the given id.
+func Task(inv Invocation, id simkern.TaskID) *simkern.Task {
+	return &simkern.Task{
+		ID:      id,
+		Label:   fmt.Sprintf("fib(%d)", inv.FibN),
+		Kind:    simkern.KindFunction,
+		Arrival: inv.Arrival,
+		Work:    inv.Duration,
+		MemMB:   inv.MemMB,
+		FibN:    inv.FibN,
+	}
+}
+
 // Tasks converts invocations into simulator tasks (IDs 1..n in arrival
 // order).
 func Tasks(invs []Invocation) []*simkern.Task {
 	out := make([]*simkern.Task, 0, len(invs))
 	for i, inv := range invs {
-		out = append(out, &simkern.Task{
-			ID:      simkern.TaskID(i + 1),
-			Label:   fmt.Sprintf("fib(%d)", inv.FibN),
-			Kind:    simkern.KindFunction,
-			Arrival: inv.Arrival,
-			Work:    inv.Duration,
-			MemMB:   inv.MemMB,
-			FibN:    inv.FibN,
-		})
+		out = append(out, Task(inv, simkern.TaskID(i+1)))
 	}
 	return out
 }
