@@ -160,7 +160,6 @@ func BenchmarkKernelDispatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	type noopHandler struct{ simkern.Handler }
 	k.SetHandler(handlerFuncs{})
 	task := &simkern.Task{ID: 1, Work: time.Hour}
 	if err := k.AddTask(task); err != nil {
@@ -169,7 +168,7 @@ func BenchmarkKernelDispatch(b *testing.B) {
 	if _, err := k.Run(time.Nanosecond); err != nil {
 		b.Fatal(err)
 	}
-	_ = noopHandler{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := k.RunTask(0, task); err != nil {
@@ -195,6 +194,7 @@ func BenchmarkCFSSimulation(b *testing.B) {
 		b.Fatal(err)
 	}
 	invs = workload.Sample(invs, 500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k, err := simkern.New(simkern.DefaultConfig(8))
@@ -224,6 +224,7 @@ func BenchmarkWorkloadBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		invs, err := workload.Builder{}.Build(tr, 0, 2)
@@ -244,6 +245,7 @@ func BenchmarkFacadeSimulate(b *testing.B) {
 	}
 	for _, sched := range []Scheduler{SchedulerFIFO, SchedulerCFS, SchedulerHybrid} {
 		b.Run(strings.ReplaceAll(string(sched), "/", "_"), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Simulate(Options{Cores: 4, Scheduler: sched}, invs); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,117 @@
+// Command benchfmt converts `go test -bench` text output on stdin into the
+// stable JSON format of BENCH_baseline.json, so the repo's performance
+// trajectory can be recorded and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CFSSimulation|KernelDispatch' -benchmem . | benchfmt > BENCH_baseline.json
+//
+// scripts/bench_baseline.sh wraps the canonical invocation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark's parsed measurements. Metrics maps unit name
+// ("ns/op", "allocs/op", "events/run", ...) to the reported value.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the BENCH_baseline.json schema.
+type File struct {
+	Note       string   `json:"note"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func run(r io.Reader, w io.Writer) error {
+	results, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	out := File{
+		Note:       "regenerate with scripts/bench_baseline.sh",
+		Benchmarks: results,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Parse extracts benchmark result lines from go test output. Lines look
+// like:
+//
+//	BenchmarkFoo-8   120   9876543 ns/op   123456 B/op   789 allocs/op
+//
+// with an optional trailing run of custom metric pairs from
+// b.ReportMetric. Non-benchmark lines are ignored.
+func Parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		res, ok := parseLine(line)
+		if ok {
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// name, iterations, then (value, unit) pairs: at least 4 fields.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if !strings.HasPrefix(name, "Benchmark") {
+		return Result{}, false
+	}
+	// Strip the -GOMAXPROCS suffix (absent when GOMAXPROCS=1), but only a
+	// purely numeric one: sub-benchmark names may contain hyphens.
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			name = name[:i]
+		}
+		break
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil || iters <= 0 {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/faassched/faassched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelDispatch-8   	 4644812	       609.1 ns/op	     110 B/op	       2 allocs/op
+BenchmarkCFSSimulation 	      15	  73305123 ns/op	    137419 events/run	13317651 B/op	  413013 allocs/op
+PASS
+ok  	github.com/faassched/faassched	31.905s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	kd := results[0]
+	if kd.Name != "BenchmarkKernelDispatch" {
+		t.Errorf("name = %q, want suffix stripped", kd.Name)
+	}
+	if kd.Iterations != 4644812 {
+		t.Errorf("iterations = %d", kd.Iterations)
+	}
+	if kd.Metrics["ns/op"] != 609.1 || kd.Metrics["allocs/op"] != 2 {
+		t.Errorf("metrics = %v", kd.Metrics)
+	}
+	cfs := results[1]
+	if cfs.Name != "BenchmarkCFSSimulation" {
+		t.Errorf("unsuffixed name mangled: %q", cfs.Name)
+	}
+	if cfs.Metrics["events/run"] != 137419 {
+		t.Errorf("custom metric lost: %v", cfs.Metrics)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRunEmitsSortedJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `"name": "BenchmarkCFSSimulation"`) {
+		t.Errorf("JSON missing benchmark: %s", s)
+	}
+	if strings.Index(s, "BenchmarkCFSSimulation") > strings.Index(s, "BenchmarkKernelDispatch") {
+		t.Error("benchmarks not sorted by name")
+	}
+}

@@ -32,7 +32,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("faasbench", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "all", "comma-separated experiment ids, or 'all' (see -list)")
-		scaleFlag  = fs.String("scale", "quick", "experiment scale: quick|full")
+		scaleFlag  = fs.String("scale", "quick", "experiment scale: quick|full|fullscale (fullscale = no ×100 trace downscaling, ~1.2M invocations)")
 		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")

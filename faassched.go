@@ -75,7 +75,7 @@ type Invocation = workload.Invocation
 
 // WorkloadSpec configures synthetic workload construction: an
 // Azure-calibrated trace is synthesized and pushed through the paper's
-// §V-B pipeline (clean → Fibonacci bucketing → ×100 downscale → evenly
+// §V-B pipeline (clean → Fibonacci bucketing → ×Downscale → evenly
 // spaced arrivals).
 type WorkloadSpec struct {
 	// Seed makes the workload reproducible. Zero means 1.
@@ -86,6 +86,10 @@ type WorkloadSpec struct {
 	// MaxInvocations optionally stride-samples the result down to ~this
 	// many invocations, preserving distribution and arrival span.
 	MaxInvocations int
+	// Downscale divides every per-minute invocation count. Zero means the
+	// paper's ×100; 1 replays the full Azure-calibrated volume (~1.2M
+	// invocations over the main two-minute window).
+	Downscale int
 }
 
 // BuildWorkload synthesizes a workload from spec.
@@ -99,6 +103,9 @@ func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
 	if spec.Minutes < 1 || spec.Minutes > 10 {
 		return nil, fmt.Errorf("faassched: Minutes %d out of [1,10]", spec.Minutes)
 	}
+	if spec.Downscale < 0 {
+		return nil, fmt.Errorf("faassched: Downscale must be >= 0, got %d", spec.Downscale)
+	}
 	cfg := trace.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.Minutes = 10
@@ -106,7 +113,7 @@ func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	invs, err := workload.Builder{}.Build(tr, 0, spec.Minutes)
+	invs, err := workload.Builder{Downscale: spec.Downscale}.Build(tr, 0, spec.Minutes)
 	if err != nil {
 		return nil, err
 	}

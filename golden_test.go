@@ -1,0 +1,170 @@
+package faassched
+
+// Golden determinism digests: every scheduler (single machine and fleet)
+// is run on a fixed seed and the full per-invocation record stream is
+// hashed. The committed digests in testdata/golden_digests.json pin the
+// simulator's observable behavior bit-for-bit — a refactor of the event
+// core must not change a single one, because events must keep firing in
+// exactly the same (time, seq) order.
+//
+// Regenerate (only when an intentional semantic change is made) with:
+//
+//	go test -run TestGoldenDigests -update-golden .
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json")
+
+const goldenPath = "testdata/golden_digests.json"
+
+// goldenWorkload is the fixed input: seed 1, one trace minute, stride
+// sampled to 400 invocations so the whole matrix stays fast.
+func goldenWorkload(t *testing.T) []Invocation {
+	t.Helper()
+	invs, err := BuildWorkload(WorkloadSpec{Seed: 1, Minutes: 1, MaxInvocations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return invs
+}
+
+// digestResult canonically serializes a Result's observable state.
+func digestResult(r *Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "scheduler=%s makespan=%d preemptions=%d launched=%d failedvms=%d\n",
+		r.Scheduler, int64(r.Makespan), r.Preemptions, r.LaunchedVMs, r.FailedVMs)
+	for _, rec := range r.Set.Records {
+		fmt.Fprintf(h, "%d|%s|%d|%d|%d|%d|%d|%d|%d|%t\n",
+			rec.ID, rec.Label, int64(rec.Arrival), int64(rec.FirstRun), int64(rec.Finish),
+			int64(rec.CPU), rec.Preemptions, rec.MemMB, rec.FibN, rec.Failed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// digestCluster extends the result digest with the routing decisions and
+// per-server shape.
+func digestCluster(r *ClusterResult) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "base=%s dispatch=%s servers=%d\n", digestResult(&r.Result), r.Dispatch, r.Servers)
+	for i, s := range r.Assignment {
+		fmt.Fprintf(h, "a%d=%d\n", i, s)
+	}
+	for _, sr := range r.PerServer {
+		fmt.Fprintf(h, "s%d n=%d makespan=%d preempt=%d\n", sr.Server, sr.Invocations, int64(sr.Makespan), sr.Preemptions)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// computeDigests runs the full golden matrix.
+func computeDigests(t *testing.T) map[string]string {
+	t.Helper()
+	invs := goldenWorkload(t)
+	out := map[string]string{}
+
+	for _, sched := range Schedulers() {
+		res, err := Simulate(Options{Cores: 8, Scheduler: sched}, invs)
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		out["sim/"+string(sched)] = digestResult(res)
+	}
+
+	// One Firecracker-mode run (spawns VMM/IO threads mid-simulation —
+	// the heaviest exercise of timer + arrival event interleaving).
+	fcres, err := Simulate(Options{Cores: 8, Scheduler: SchedulerHybrid, Firecracker: true}, invs)
+	if err != nil {
+		t.Fatalf("firecracker: %v", err)
+	}
+	out["sim/hybrid+firecracker"] = digestResult(fcres)
+
+	for _, d := range Dispatches() {
+		cres, err := SimulateCluster(ClusterOptions{
+			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1,
+		}, invs)
+		if err != nil {
+			t.Fatalf("cluster %s: %v", d, err)
+		}
+		out["cluster/hybrid/"+string(d)] = digestCluster(cres)
+	}
+	// A CFS fleet covers the preemption-heavy cancel path at cluster scale.
+	cres, err := SimulateCluster(ClusterOptions{
+		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1,
+	}, invs)
+	if err != nil {
+		t.Fatalf("cluster cfs: %v", err)
+	}
+	out["cluster/cfs/least-loaded"] = digestCluster(cres)
+	return out
+}
+
+func TestGoldenDigests(t *testing.T) {
+	got := computeDigests(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s (generate with -update-golden): %v", goldenPath, err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var bad []string
+	for _, k := range keys {
+		if got[k] != want[k] {
+			bad = append(bad, fmt.Sprintf("%s: got %.12s… want %.12s…", k, got[k], want[k]))
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("digest count %d != committed %d", len(got), len(want))
+	}
+	if len(bad) > 0 {
+		t.Errorf("determinism digests changed:\n  %s", strings.Join(bad, "\n  "))
+	}
+}
+
+// TestGoldenDigestsStableAcrossRuns guards the guard: two in-process runs
+// of the same matrix must agree, or the digests prove nothing.
+func TestGoldenDigestsStableAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: double-run covered by TestGoldenDigests")
+	}
+	a := computeDigests(t)
+	b := computeDigests(t)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("digest %s differs between identical runs", k)
+		}
+	}
+}

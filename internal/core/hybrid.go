@@ -181,6 +181,7 @@ type Hybrid struct {
 	rrSpill int // round-robin cursor over CFS cores for spills
 
 	monitorOn     bool
+	monitorFn     func() // persistent monitor callback (no per-period closure)
 	lastMigration time.Duration
 	migrating     bool
 
@@ -238,6 +239,14 @@ func (h *Hybrid) Attach(env *ghost.Env) {
 	}
 	h.fifoEng = fifo.NewEngine(env, fifoCores, 0 /* run-to-completion */)
 	h.cfsEng = cfs.NewEngine(env, cfsCores, h.cfg.CFS)
+	h.monitorFn = func() {
+		h.monitor()
+		if h.env.Outstanding() > 0 {
+			h.scheduleMonitor()
+		} else {
+			h.monitorOn = false
+		}
+	}
 }
 
 // OnMessage implements ghost.Policy.
@@ -372,14 +381,7 @@ func (h *Hybrid) ensureMonitor() {
 }
 
 func (h *Hybrid) scheduleMonitor() {
-	h.env.SetTimer(h.env.Now()+h.cfg.MonitorEvery, func() {
-		h.monitor()
-		if h.env.Outstanding() > 0 {
-			h.scheduleMonitor()
-		} else {
-			h.monitorOn = false
-		}
-	})
+	h.env.SetTimer(h.env.Now()+h.cfg.MonitorEvery, h.monitorFn)
 }
 
 // monitor records the group-utilization, limit, and core-count series

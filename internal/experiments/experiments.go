@@ -41,8 +41,12 @@ type Scale int
 const (
 	// ScaleQuick shrinks workloads and core counts for tests and benches.
 	ScaleQuick Scale = iota + 1
-	// ScaleFull reproduces the paper's parameters.
+	// ScaleFull reproduces the paper's parameters (×100 trace downscale).
 	ScaleFull
+	// ScaleFullScale is ScaleFull without the paper's ×100 trace
+	// downscaling: every derived workload is built at Downscale=1, so the
+	// main two-minute window carries ~1.2M invocations.
+	ScaleFullScale
 )
 
 // String implements fmt.Stringer.
@@ -52,20 +56,24 @@ func (s Scale) String() string {
 		return "quick"
 	case ScaleFull:
 		return "full"
+	case ScaleFullScale:
+		return "fullscale"
 	default:
 		return fmt.Sprintf("Scale(%d)", int(s))
 	}
 }
 
-// ParseScale parses "quick" or "full".
+// ParseScale parses "quick", "full", or "fullscale".
 func ParseScale(s string) (Scale, error) {
 	switch strings.ToLower(s) {
 	case "quick":
 		return ScaleQuick, nil
 	case "full":
 		return ScaleFull, nil
+	case "fullscale":
+		return ScaleFullScale, nil
 	default:
-		return 0, fmt.Errorf("experiments: unknown scale %q (want quick|full)", s)
+		return 0, fmt.Errorf("experiments: unknown scale %q (want quick|full|fullscale)", s)
 	}
 }
 
@@ -81,6 +89,11 @@ type Env struct {
 	Tariff pricing.Tariff
 	Model  fib.DurationModel
 
+	// Downscale divides per-minute trace counts when deriving workloads.
+	// Zero means the scale default: 1 at ScaleFullScale, the paper's ×100
+	// otherwise.
+	Downscale int
+
 	// W2Max / W10Max optionally cap the derived workloads below the scale
 	// defaults (the test suite uses them for -short runs). Zero means the
 	// scale default.
@@ -91,6 +104,7 @@ type Env struct {
 	tr  *trace.Trace
 	w2  []workload.Invocation
 	w10 []workload.Invocation
+	wfs []workload.Invocation // FullScaleW2 cache
 }
 
 // Sizing constants.
@@ -107,7 +121,7 @@ const (
 // NewEnv builds an experiment environment at the given scale.
 func NewEnv(scale Scale) *Env {
 	cores := quickCores
-	if scale == ScaleFull {
+	if scale == ScaleFull || scale == ScaleFullScale {
 		cores = fullCores
 	}
 	return &Env{
@@ -117,6 +131,17 @@ func NewEnv(scale Scale) *Env {
 		Tariff: pricing.Default(),
 		Model:  fib.DefaultModel(),
 	}
+}
+
+// downscale resolves the effective trace downscale factor.
+func (e *Env) downscale() int {
+	if e.Downscale > 0 {
+		return e.Downscale
+	}
+	if e.Scale == ScaleFullScale {
+		return 1
+	}
+	return workload.DefaultDownscale
 }
 
 // Trace returns the underlying synthetic Azure-calibrated trace (10
@@ -143,10 +168,14 @@ func (e *Env) traceLocked() (*trace.Trace, error) {
 }
 
 // W2 returns the paper's main workload: the first two minutes of the
-// derived trace (12,442 invocations at full scale).
+// derived trace (12,442 invocations at full scale, ~1.2M at fullscale).
 func (e *Env) W2() ([]workload.Invocation, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.w2Locked()
+}
+
+func (e *Env) w2Locked() ([]workload.Invocation, error) {
 	if e.w2 != nil {
 		return e.w2, nil
 	}
@@ -154,13 +183,18 @@ func (e *Env) W2() ([]workload.Invocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	invs, err := workload.Builder{Model: e.Model}.Build(tr, 0, 2)
+	invs, err := workload.Builder{Model: e.Model, Downscale: e.downscale()}.Build(tr, 0, 2)
 	if err != nil {
 		return nil, err
 	}
-	if e.Scale == ScaleFull {
+	switch e.Scale {
+	case ScaleFull:
 		invs = workload.TakeN(invs, fullW2Target)
-	} else {
+	case ScaleFullScale:
+		// The ×(100/Downscale) analog of the paper's pinned
+		// 12,442-invocation window: ~1.24M at the default Downscale=1.
+		invs = workload.TakeN(invs, fullW2Target*workload.DefaultDownscale/e.downscale())
+	default:
 		invs = workload.Sample(invs, quickW2Target)
 	}
 	if e.W2Max > 0 {
@@ -168,6 +202,45 @@ func (e *Env) W2() ([]workload.Invocation, error) {
 	}
 	e.w2 = invs
 	return e.w2, nil
+}
+
+// FullScaleW2 is the paper's main two-minute workload rebuilt without
+// trace downscaling — always Downscale=1 regardless of Env.Downscale —
+// the input of the ext-fullscale experiment. Only ScaleFullScale replays
+// all ~1.2M invocations; the other scales build through the ×1 path but
+// stride-sample the result (to the paper's 12,442 at full, smaller at
+// quick) so `-scale full`'s suite cost is unchanged and the test suite
+// stays fast. W2Max caps apply as for W2.
+func (e *Env) FullScaleW2() ([]workload.Invocation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wfs != nil {
+		return e.wfs, nil
+	}
+	if e.Scale == ScaleFullScale && e.downscale() == 1 {
+		// W2 is already the ×1 workload; share the cache.
+		return e.w2Locked()
+	}
+	tr, err := e.traceLocked()
+	if err != nil {
+		return nil, err
+	}
+	invs, err := workload.Builder{Model: e.Model, Downscale: 1}.Build(tr, 0, 2)
+	if err != nil {
+		return nil, err
+	}
+	invs = workload.TakeN(invs, fullW2Target*workload.DefaultDownscale)
+	switch e.Scale {
+	case ScaleFull:
+		invs = workload.Sample(invs, fullW2Target)
+	case ScaleQuick:
+		invs = workload.Sample(invs, 2*quickW2Target)
+	}
+	if e.W2Max > 0 {
+		invs = workload.Sample(invs, e.W2Max)
+	}
+	e.wfs = invs
+	return e.wfs, nil
 }
 
 // W10 returns the ten-minute workload used by the utilization and
@@ -186,7 +259,7 @@ func (e *Env) W10() ([]workload.Invocation, error) {
 	if e.Scale == ScaleQuick {
 		minutes = 4
 	}
-	invs, err := workload.Builder{Model: e.Model}.Build(tr, 0, minutes)
+	invs, err := workload.Builder{Model: e.Model, Downscale: e.downscale()}.Build(tr, 0, minutes)
 	if err != nil {
 		return nil, err
 	}

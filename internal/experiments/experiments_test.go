@@ -42,11 +42,32 @@ func TestScaleParsing(t *testing.T) {
 	if s, err := ParseScale("FULL"); err != nil || s != ScaleFull {
 		t.Errorf("ParseScale(FULL) = %v, %v", s, err)
 	}
+	if s, err := ParseScale("fullscale"); err != nil || s != ScaleFullScale {
+		t.Errorf("ParseScale(fullscale) = %v, %v", s, err)
+	}
 	if _, err := ParseScale("nope"); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" || Scale(9).String() == "" {
+	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" ||
+		ScaleFullScale.String() != "fullscale" || Scale(9).String() == "" {
 		t.Error("scale strings wrong")
+	}
+}
+
+func TestDownscaleResolution(t *testing.T) {
+	if d := NewEnv(ScaleQuick).downscale(); d != 100 {
+		t.Errorf("quick downscale = %d, want 100", d)
+	}
+	if d := NewEnv(ScaleFullScale).downscale(); d != 1 {
+		t.Errorf("fullscale downscale = %d, want 1", d)
+	}
+	e := NewEnv(ScaleFull)
+	e.Downscale = 10
+	if d := e.downscale(); d != 10 {
+		t.Errorf("override downscale = %d, want 10", d)
+	}
+	if NewEnv(ScaleFullScale).Cores != fullCores {
+		t.Error("fullscale should use the paper's enclave size")
 	}
 }
 
@@ -94,7 +115,8 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "table1",
 		"ablation-cachepenalty", "ablation-mingran", "ablation-msglatency",
-		"ablation-switchcost", "ext-cluster-dispatch", "ext-vmthreads", "table1i",
+		"ablation-switchcost", "ext-cluster-dispatch", "ext-fullscale",
+		"ext-vmthreads", "table1i",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -290,49 +290,7 @@ func Table1(e *Env) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	type result struct {
-		name string
-		out  *RunOutput
-	}
-	runs := make([]result, 0, 3)
-	for _, name := range []string{"fifo", "cfs"} {
-		out, err := e.RunPolicy(e.Baselines()[name](), invs, false)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, result{name: name, out: out})
-	}
-	hybridRun, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
-	if err != nil {
-		return nil, err
-	}
-	runs = append(runs, result{name: "ours", out: hybridRun})
-
-	fig := NewFigure("table1", "Schedulers' overall performance and cost (W2)",
-		"metric", "fifo", "cfs", "ours")
-	row := func(label string, f func(metrics.Set) string) {
-		cells := []string{label}
-		for _, r := range runs {
-			cells = append(cells, f(r.out.Set))
-		}
-		fig.AddRow(cells...)
-	}
-	p99 := func(m metrics.Metric) func(metrics.Set) string {
-		return func(s metrics.Set) string {
-			v, err := s.P99(m)
-			if err != nil {
-				return "n/a"
-			}
-			return fmtSec(v)
-		}
-	}
-	row("p99_response_s", p99(metrics.Response))
-	row("p99_execution_s", p99(metrics.Execution))
-	row("p99_turnaround_s", p99(metrics.Turnaround))
-	row("overall_cost_usd", func(s metrics.Set) string { return fmtUSD(s.Cost(e.Tariff)) })
-	fig.Note("costs use the per-invocation Azure memory distribution, AWS Lambda tariff")
-	fig.Note("simulated FIFO has no native-CFS interference, so its execution p99 is the demand itself (DESIGN.md deviation note)")
-	return fig, nil
+	return summaryFigure(e, "table1", "Schedulers' overall performance and cost (W2)", invs)
 }
 
 // groupUtilFigure renders a hybrid's recorded group-utilization series,

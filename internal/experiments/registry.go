@@ -41,6 +41,7 @@ var registry = map[string]Runner{
 	"table1i":               Table1Interference,
 	"ext-vmthreads":         ExtVMThreads,
 	"ext-cluster-dispatch":  ExtClusterDispatch,
+	"ext-fullscale":         ExtFullScale,
 }
 
 // IDs returns every experiment id in stable order: the paper's figures

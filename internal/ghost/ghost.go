@@ -97,14 +97,36 @@ const DefaultMsgLatency = 2 * time.Microsecond
 
 // Enclave owns a set of cores (in this simulator: all kernel cores) and
 // delegates their scheduling to a Policy.
+//
+// Message delivery is batched: instead of one kernel timer (and one
+// closure) per message, consecutive messages that fall due at the same
+// instant share a single flush timer. A batch may only absorb a message
+// when no other event was scheduled since the batch was armed — checked
+// against Kernel.EventSeq — which makes batching provably equivalent to
+// the per-message scheme: the absorbed message's delivery would have held
+// the very next sequence number anyway, so nothing can fire between it
+// and its batch.
 type Enclave struct {
 	kernel  *simkern.Kernel
 	policy  Policy
 	latency time.Duration
 	stats   Stats
 
+	ticker      Ticker // policy, when it implements Ticker
+	tickFn      func() // persistent tick callback (no per-tick closure)
 	tickPending bool
 	env         *Env
+
+	// Pending delivery queue: msgs[msgHead:] not yet dispatched, grouped
+	// into len(batches)-batchHead armed flush timers of the given sizes,
+	// in FIFO order. flushFn is the one shared timer callback.
+	flushFn   func()
+	msgs      []Message
+	msgHead   int
+	batches   []int
+	batchHead int
+	lastDue   time.Duration // due time of the most recently armed batch
+	lastSeq   uint64        // kernel event seq right after arming it
 }
 
 // NewEnclave wires policy into kernel and registers the delegation
@@ -125,6 +147,16 @@ func NewEnclave(kernel *simkern.Kernel, policy Policy, cfg Config) (*Enclave, er
 	}
 	e := &Enclave{kernel: kernel, policy: policy, latency: latency}
 	e.env = &Env{enclave: e}
+	e.flushFn = e.flush
+	if tk, ok := policy.(Ticker); ok {
+		e.ticker = tk
+		e.tickFn = func() {
+			e.tickPending = false
+			e.stats.Ticks++
+			e.ticker.OnTick()
+			e.ensureTick()
+		}
+	}
 	kernel.SetHandler(e)
 	policy.Attach(e.env)
 	return e, nil
@@ -151,9 +183,40 @@ func (e *Enclave) deliver(msg Message) {
 		e.dispatch(msg)
 		return
 	}
-	e.kernel.SetTimer(e.kernel.Now()+e.latency, func() {
+	due := e.kernel.Now() + e.latency
+	e.msgs = append(e.msgs, msg)
+	if e.batchHead < len(e.batches) && due == e.lastDue && e.kernel.EventSeq() == e.lastSeq {
+		// Nothing was scheduled since the newest batch was armed, so this
+		// message rides along without changing the firing order.
+		e.batches[len(e.batches)-1]++
+		return
+	}
+	e.batches = append(e.batches, 1)
+	e.kernel.ScheduleFn(due, e.flushFn)
+	e.lastDue = due
+	e.lastSeq = e.kernel.EventSeq()
+}
+
+// flush dispatches the oldest armed batch. Batches fire strictly in
+// arming order (their due times and sequence numbers both increase).
+func (e *Enclave) flush() {
+	n := e.batches[e.batchHead]
+	e.batchHead++
+	for i := 0; i < n; i++ {
+		msg := e.msgs[e.msgHead]
+		e.msgs[e.msgHead] = Message{}
+		e.msgHead++
 		e.dispatch(msg)
-	})
+	}
+	// Recycle the queue storage once fully drained.
+	if e.msgHead == len(e.msgs) {
+		e.msgs = e.msgs[:0]
+		e.msgHead = 0
+	}
+	if e.batchHead == len(e.batches) {
+		e.batches = e.batches[:0]
+		e.batchHead = 0
+	}
 }
 
 func (e *Enclave) dispatch(msg Message) {
@@ -166,23 +229,17 @@ func (e *Enclave) dispatch(msg Message) {
 // Policies may return a non-positive TickEvery to opt out dynamically
 // (e.g. pure FIFO needs no agent tick).
 func (e *Enclave) ensureTick() {
-	ticker, ok := e.policy.(Ticker)
-	if !ok || e.tickPending {
+	if e.ticker == nil || e.tickPending {
 		return
 	}
-	if ticker.TickEvery() <= 0 {
+	if e.ticker.TickEvery() <= 0 {
 		return
 	}
 	if e.kernel.Outstanding() == 0 {
 		return
 	}
 	e.tickPending = true
-	e.kernel.SetTimer(e.kernel.Now()+ticker.TickEvery(), func() {
-		e.tickPending = false
-		e.stats.Ticks++
-		ticker.OnTick()
-		e.ensureTick()
-	})
+	e.kernel.ScheduleFn(e.kernel.Now()+e.ticker.TickEvery(), e.tickFn)
 }
 
 // Env is the operations handle a policy uses to inspect and control its

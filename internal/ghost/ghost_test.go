@@ -241,3 +241,64 @@ func TestMsgTypeString(t *testing.T) {
 		t.Error("unknown type should render")
 	}
 }
+
+// TestDeliveryBatching checks that same-instant messages share one flush
+// timer without losing count or order: tasks arriving at the same time
+// must be delivered as distinct messages, in task-addition order, each
+// after the delegation latency.
+func TestDeliveryBatching(t *testing.T) {
+	k := newKernel(t, 4)
+	p := &stampingPolicy{testPolicy: &testPolicy{tickRate: -1}}
+	enclave, err := NewEnclave(k, p, Config{MsgLatency: 2 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four tasks at the same arrival instant, two at a later one.
+	for i := 1; i <= 4; i++ {
+		if err := k.AddTask(&simkern.Task{ID: simkern.TaskID(i), Work: time.Millisecond, Arrival: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 5; i <= 6; i++ {
+		if err := k.AddTask(&simkern.Task{ID: simkern.TaskID(i), Work: time.Millisecond, Arrival: 2 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := enclave.Stats().Delivered; got != 12 {
+		t.Fatalf("Delivered = %d, want 12 (6 TASK_NEW + 6 TASK_DEAD)", got)
+	}
+	var newOrder []simkern.TaskID
+	for i, m := range p.msgs {
+		if got, want := p.deliveredAt[i], m.Sent+2*time.Microsecond; got != want {
+			t.Fatalf("message %d delivered at %v, want sent %v + latency", i, got, m.Sent)
+		}
+		if m.Type == MsgTaskNew {
+			newOrder = append(newOrder, m.Task.ID)
+		}
+	}
+	for i, id := range newOrder {
+		if id != simkern.TaskID(i+1) {
+			t.Fatalf("TASK_NEW order = %v, want addition order", newOrder)
+		}
+	}
+	// The internal queues must be fully drained and recycled.
+	if enclave.msgHead != 0 || len(enclave.msgs) != 0 || len(enclave.batches) != 0 {
+		t.Fatalf("delivery queue not recycled: head=%d msgs=%d batches=%d",
+			enclave.msgHead, len(enclave.msgs), len(enclave.batches))
+	}
+}
+
+// stampingPolicy records the simulation clock at each OnMessage, so the
+// batching test can assert the exact delivery instant.
+type stampingPolicy struct {
+	*testPolicy
+	deliveredAt []time.Duration
+}
+
+func (p *stampingPolicy) OnMessage(m Message) {
+	p.deliveredAt = append(p.deliveredAt, p.env.Now())
+	p.testPolicy.OnMessage(m)
+}

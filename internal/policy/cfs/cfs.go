@@ -93,12 +93,17 @@ func (rq *runqueue) nrRunning() int {
 	return n
 }
 
-// Engine is the CFS scheduling core over a dynamic set of cores.
+// Engine is the CFS scheduling core over a dynamic set of cores. Runqueue
+// lookup is a dense slice indexed by CoreID (this sits on the per-event
+// hot path: the tick slice check, idle balance, and wakeup placement all
+// resolve runqueues, and a map lookup per resolution dominated simulation
+// profiles).
 type Engine struct {
 	env    *ghost.Env
 	params Params
-	rqs    map[simkern.CoreID]*runqueue
-	order  []simkern.CoreID // stable iteration order
+	byCore []*runqueue      // indexed by CoreID; nil = core not in group
+	list   []*runqueue      // stable iteration order
+	cores  []simkern.CoreID // Cores() view, rebuilt on membership change
 }
 
 // NewEngine returns a CFS engine over the given cores.
@@ -106,7 +111,6 @@ func NewEngine(env *ghost.Env, cores []simkern.CoreID, params Params) *Engine {
 	e := &Engine{
 		env:    env,
 		params: params.withDefaults(),
-		rqs:    make(map[simkern.CoreID]*runqueue, len(cores)),
 	}
 	for _, c := range cores {
 		e.AddCore(c)
@@ -114,13 +118,29 @@ func NewEngine(env *ghost.Env, cores []simkern.CoreID, params Params) *Engine {
 	return e
 }
 
+// rq resolves core c's runqueue, nil when c is not in the group.
+func (e *Engine) rq(c simkern.CoreID) *runqueue {
+	if c < 0 || int(c) >= len(e.byCore) {
+		return nil
+	}
+	return e.byCore[c]
+}
+
 // Cores returns the cores currently in the group in iteration order.
-func (e *Engine) Cores() []simkern.CoreID { return e.order }
+func (e *Engine) Cores() []simkern.CoreID { return e.cores }
+
+// rebuildCores refreshes the cached Cores() view from list.
+func (e *Engine) rebuildCores() {
+	e.cores = e.cores[:0]
+	for _, rq := range e.list {
+		e.cores = append(e.cores, rq.id)
+	}
+}
 
 // NrRunning returns the number of runnable tasks (incl. running) on c.
 func (e *Engine) NrRunning(c simkern.CoreID) int {
-	rq, ok := e.rqs[c]
-	if !ok {
+	rq := e.rq(c)
+	if rq == nil {
 		return 0
 	}
 	return rq.nrRunning()
@@ -129,19 +149,24 @@ func (e *Engine) NrRunning(c simkern.CoreID) int {
 // TotalRunnable returns the number of runnable tasks across the group.
 func (e *Engine) TotalRunnable() int {
 	n := 0
-	for _, c := range e.order {
-		n += e.rqs[c].nrRunning()
+	for _, rq := range e.list {
+		n += rq.nrRunning()
 	}
 	return n
 }
 
 // AddCore adds a core with an empty runqueue.
 func (e *Engine) AddCore(c simkern.CoreID) {
-	if _, ok := e.rqs[c]; ok {
+	if e.rq(c) != nil {
 		return
 	}
-	e.rqs[c] = &runqueue{id: c}
-	e.order = append(e.order, c)
+	for int(c) >= len(e.byCore) {
+		e.byCore = append(e.byCore, nil)
+	}
+	rq := &runqueue{id: c}
+	e.byCore[c] = rq
+	e.list = append(e.list, rq)
+	e.rebuildCores()
 }
 
 // RemoveCore removes c from the group and returns every task that was
@@ -149,8 +174,8 @@ func (e *Engine) AddCore(c simkern.CoreID) {
 // "Task Preemption" + "Task Migration" of the paper's Fig 8 protocol; the
 // caller redistributes the returned tasks.
 func (e *Engine) RemoveCore(c simkern.CoreID) []*simkern.Task {
-	rq, ok := e.rqs[c]
-	if !ok {
+	rq := e.rq(c)
+	if rq == nil {
 		return nil
 	}
 	var out []*simkern.Task
@@ -169,13 +194,14 @@ func (e *Engine) RemoveCore(c simkern.CoreID) []*simkern.Task {
 		out = append(out, t)
 		return true
 	})
-	delete(e.rqs, c)
-	for i, id := range e.order {
-		if id == c {
-			e.order = append(e.order[:i], e.order[i+1:]...)
+	e.byCore[c] = nil
+	for i, other := range e.list {
+		if other == rq {
+			e.list = append(e.list[:i], e.list[i+1:]...)
 			break
 		}
 	}
+	e.rebuildCores()
 	return out
 }
 
@@ -184,10 +210,10 @@ func (e *Engine) RemoveCore(c simkern.CoreID) []*simkern.Task {
 func (e *Engine) Enqueue(t *simkern.Task) {
 	best := simkern.NoCore
 	bestN := int(^uint(0) >> 1)
-	for _, c := range e.order {
-		if n := e.rqs[c].nrRunning(); n < bestN {
+	for _, rq := range e.list {
+		if n := rq.nrRunning(); n < bestN {
 			bestN = n
-			best = c
+			best = rq.id
 		}
 	}
 	if best == simkern.NoCore {
@@ -201,8 +227,8 @@ func (e *Engine) Enqueue(t *simkern.Task) {
 // preempted tasks from the FIFO cores will be evenly distributed to the
 // CFS cores in a Round-Robin way").
 func (e *Engine) EnqueueOn(c simkern.CoreID, t *simkern.Task) {
-	rq, ok := e.rqs[c]
-	if !ok {
+	rq := e.rq(c)
+	if rq == nil {
 		panic("cfs: EnqueueOn unknown core")
 	}
 	d := data(t)
@@ -280,8 +306,7 @@ func (e *Engine) pickNext(rq *runqueue) {
 // runqueue into rq; it reports whether anything was stolen.
 func (e *Engine) stealInto(rq *runqueue) bool {
 	var busiest *runqueue
-	for _, c := range e.order {
-		other := e.rqs[c]
+	for _, other := range e.list {
 		if other == rq || other.tree.Len() == 0 {
 			continue
 		}
@@ -308,8 +333,8 @@ func (e *Engine) stealInto(rq *runqueue) bool {
 
 // TaskDead handles a completion on core c.
 func (e *Engine) TaskDead(t *simkern.Task, c simkern.CoreID) {
-	rq, ok := e.rqs[c]
-	if !ok {
+	rq := e.rq(c)
+	if rq == nil {
 		// The core migrated away between completion and message delivery.
 		return
 	}
@@ -324,8 +349,8 @@ func (e *Engine) TaskDead(t *simkern.Task, c simkern.CoreID) {
 // attempt a pick (which includes idle balance).
 func (e *Engine) Tick() {
 	now := e.env.Now()
-	for _, c := range e.order {
-		rq := e.rqs[c]
+	for _, rq := range e.list {
+		c := rq.id
 		if rq.curr == nil {
 			e.pickNext(rq)
 			continue

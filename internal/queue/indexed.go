@@ -1,0 +1,128 @@
+package queue
+
+// HeapIndexed is implemented by items stored in an IndexedHeap. The heap
+// calls SetHeapIndex with the item's current slot on every move, and with
+// NoHeapIndex when the item leaves the heap, so a holder of the item can
+// remove it in O(log n) without searching.
+type HeapIndexed interface {
+	SetHeapIndex(i int)
+}
+
+// NoHeapIndex is reported to items that are not currently in a heap.
+const NoHeapIndex = -1
+
+// IndexedHeap is a binary min-heap that keeps every item informed of its
+// position. It backs the simulator's event loop, where cancelling a
+// pending event (a preempted task's completion, a cancelled timer) must be
+// a true removal: the tombstone scheme it replaces let the heap grow with
+// every preempt/replace cycle under CFS churn.
+//
+// The zero value is not usable; construct with NewIndexedHeap.
+type IndexedHeap[T HeapIndexed] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewIndexedHeap returns an empty heap ordered by less.
+func NewIndexedHeap[T HeapIndexed](less func(a, b T) bool) *IndexedHeap[T] {
+	if less == nil {
+		panic("queue: NewIndexedHeap requires a less function")
+	}
+	return &IndexedHeap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *IndexedHeap[T]) Len() int { return len(h.items) }
+
+// Push adds v to the heap.
+func (h *IndexedHeap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element; ok is false when empty.
+func (h *IndexedHeap[T]) Pop() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.removeAt(0), true
+}
+
+// Peek returns the minimum element without removing it.
+func (h *IndexedHeap[T]) Peek() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.items[0], true
+}
+
+// Remove takes the element at slot i out of the heap in O(log n) and
+// returns it; ok is false when i is out of range. Callers obtain i from
+// the SetHeapIndex callbacks.
+func (h *IndexedHeap[T]) Remove(i int) (v T, ok bool) {
+	if i < 0 || i >= len(h.items) {
+		return v, false
+	}
+	return h.removeAt(i), true
+}
+
+// removeAt swaps slot i with the last slot, shrinks, and restores heap
+// order from i in both directions.
+func (h *IndexedHeap[T]) removeAt(i int) T {
+	v := h.items[i]
+	last := len(h.items) - 1
+	h.items[i] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	v.SetHeapIndex(NoHeapIndex)
+	return v
+}
+
+// up and down sift with a hole instead of pairwise swaps: the displaced
+// item is held aside while others shift into the hole, so each moved
+// element gets exactly one slot write and one index callback per level.
+
+func (h *IndexedHeap[T]) up(i int) {
+	item := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h.items[parent]
+		if !h.less(item, p) {
+			break
+		}
+		h.items[i] = p
+		p.SetHeapIndex(i)
+		i = parent
+	}
+	h.items[i] = item
+	item.SetHeapIndex(i)
+}
+
+func (h *IndexedHeap[T]) down(i int) {
+	n := len(h.items)
+	item := h.items[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		c := h.items[smallest]
+		if !h.less(c, item) {
+			break
+		}
+		h.items[i] = c
+		c.SetHeapIndex(i)
+		i = smallest
+	}
+	h.items[i] = item
+	item.SetHeapIndex(i)
+}

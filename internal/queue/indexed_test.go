@@ -1,0 +1,124 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// itracked is a test item recording its heap index callbacks.
+type itracked struct {
+	key int
+	idx int
+}
+
+func (it *itracked) SetHeapIndex(i int) { it.idx = i }
+
+func itLess(a, b *itracked) bool { return a.key < b.key }
+
+// checkIndexes asserts that every element's recorded index matches its
+// actual slot.
+func checkIndexes(t *testing.T, h *IndexedHeap[*itracked]) {
+	t.Helper()
+	for i, it := range h.items {
+		if it.idx != i {
+			t.Fatalf("item with key %d at slot %d records index %d", it.key, i, it.idx)
+		}
+	}
+}
+
+func TestIndexedHeapOrdering(t *testing.T) {
+	h := NewIndexedHeap[*itracked](itLess)
+	rng := rand.New(rand.NewSource(7))
+	var keys []int
+	for i := 0; i < 500; i++ {
+		k := rng.Intn(10000)
+		keys = append(keys, k)
+		h.Push(&itracked{key: k})
+		checkIndexes(t, h)
+	}
+	sort.Ints(keys)
+	for i, want := range keys {
+		v, ok := h.Pop()
+		if !ok || v.key != want {
+			t.Fatalf("pop %d = %v (ok=%v), want key %d", i, v, ok, want)
+		}
+		if v.idx != NoHeapIndex {
+			t.Fatalf("popped item still records index %d", v.idx)
+		}
+		checkIndexes(t, h)
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from empty heap succeeded")
+	}
+}
+
+func TestIndexedHeapRemove(t *testing.T) {
+	h := NewIndexedHeap[*itracked](itLess)
+	rng := rand.New(rand.NewSource(11))
+	live := map[*itracked]bool{}
+	for i := 0; i < 300; i++ {
+		it := &itracked{key: rng.Intn(5000)}
+		h.Push(it)
+		live[it] = true
+	}
+	// Remove half the items by their tracked index, in random order.
+	var all []*itracked
+	for it := range live {
+		all = append(all, it)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key }) // determinism
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for _, it := range all[:150] {
+		got, ok := h.Remove(it.idx)
+		if !ok || got != it {
+			t.Fatalf("Remove(%d) = %v, %v; want the item itself", it.idx, got, ok)
+		}
+		if it.idx != NoHeapIndex {
+			t.Fatalf("removed item records index %d", it.idx)
+		}
+		delete(live, it)
+		checkIndexes(t, h)
+	}
+	if h.Len() != len(live) {
+		t.Fatalf("heap len %d after removals, want %d", h.Len(), len(live))
+	}
+	// Remaining items must drain in sorted order.
+	var want []int
+	for it := range live {
+		want = append(want, it.key)
+	}
+	sort.Ints(want)
+	for i, k := range want {
+		v, ok := h.Pop()
+		if !ok || v.key != k {
+			t.Fatalf("post-removal pop %d = %v, want key %d", i, v, k)
+		}
+	}
+}
+
+func TestIndexedHeapRemoveOutOfRange(t *testing.T) {
+	h := NewIndexedHeap[*itracked](itLess)
+	h.Push(&itracked{key: 1})
+	if _, ok := h.Remove(-1); ok {
+		t.Error("Remove(-1) succeeded")
+	}
+	if _, ok := h.Remove(1); ok {
+		t.Error("Remove(len) succeeded")
+	}
+	if _, ok := h.Remove(NoHeapIndex); ok {
+		t.Error("Remove(NoHeapIndex) succeeded")
+	}
+	if h.Len() != 1 {
+		t.Errorf("len = %d after failed removes", h.Len())
+	}
+}
+
+func TestIndexedHeapPanicsWithoutLess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIndexedHeap(nil) did not panic")
+		}
+	}()
+	NewIndexedHeap[*itracked](nil)
+}

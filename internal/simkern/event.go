@@ -6,15 +6,36 @@ import (
 	"github.com/faassched/faassched/internal/queue"
 )
 
-// event is a scheduled callback in the simulation's event loop. Events are
-// ordered by (time, sequence) so ties resolve in scheduling order, making
-// runs deterministic.
+// eventKind discriminates the typed events the kernel loop dispatches.
+// The previous core stored one heap-allocated closure per event; kinds +
+// inline payloads let the loop run a switch over pooled structs instead,
+// so steady-state simulation allocates no events at all.
+type eventKind uint8
+
+const (
+	evNone       eventKind = iota
+	evArrival              // Task reached its arrival time and becomes runnable
+	evCompletion           // the running Task finishes its current segment's work
+	evTimer                // SetTimer callback: policy ticks, delegation batches
+	evSample               // per-core utilization sampler period
+)
+
+// event is one scheduled occurrence in the simulation. Events are ordered
+// by (time, sequence) so ties resolve in scheduling order, making runs
+// deterministic. Payload fields are a union discriminated by kind.
 type event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	canceled bool
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+	hidx int // heap slot maintained by queue.IndexedHeap; NoHeapIndex when out
+
+	task *Task   // evArrival, evCompletion
+	fn   func()  // evTimer
+	id   TimerID // evTimer
 }
+
+// SetHeapIndex implements queue.HeapIndexed.
+func (e *event) SetHeapIndex(i int) { e.hidx = i }
 
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
@@ -26,63 +47,82 @@ func eventLess(a, b *event) bool {
 // TimerID identifies a kernel timer created with SetTimer.
 type TimerID uint64
 
-// eventLoop owns the pending-event heap. active counts non-canceled
-// pending events so self-rescheduling services (the utilization sampler)
-// can tell whether real work remains.
+// eventLoop owns the pending-event heap and the free list. Cancelled and
+// fired events return to the free list, so a long simulation reuses a
+// small working set of event structs; cancellation is an O(log n) heap
+// removal, keeping the heap at exactly the number of live events (the
+// tombstone scheme it replaces bloated the heap under preemption churn).
 type eventLoop struct {
-	heap   *queue.Heap[*event]
-	seq    uint64
-	active int
+	heap *queue.IndexedHeap[*event]
+	free []*event
+	seq  uint64
 }
 
 func newEventLoop() *eventLoop {
-	return &eventLoop{heap: queue.NewHeap[*event](eventLess)}
+	return &eventLoop{heap: queue.NewIndexedHeap[*event](eventLess)}
 }
 
-// schedule enqueues fn at time at and returns the event for cancellation.
-func (l *eventLoop) schedule(at time.Duration, fn func()) *event {
+// schedule enqueues a blank event of the given kind at time at and returns
+// it for payload assignment and cancellation. The sequence counter
+// advances exactly once per call, preserving the (time, seq) tie-break
+// order of the closure-based core this replaces.
+func (l *eventLoop) schedule(at time.Duration, kind eventKind) *event {
 	l.seq++
-	ev := &event{at: at, seq: l.seq, fn: fn}
+	var ev *event
+	if n := len(l.free); n > 0 {
+		ev = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = l.seq
+	ev.kind = kind
 	l.heap.Push(ev)
-	l.active++
 	return ev
 }
 
-// cancel marks ev canceled; it stays in the heap and is discarded on pop.
+// cancel removes a pending event from the heap and recycles it. The caller
+// must drop its reference: the struct is reused by a later schedule.
 func (l *eventLoop) cancel(ev *event) {
-	if !ev.canceled {
-		ev.canceled = true
-		l.active--
+	if _, ok := l.heap.Remove(ev.hidx); !ok {
+		return
 	}
+	l.release(ev)
 }
 
-// next pops the earliest non-canceled event, or nil when drained.
+// release clears payload references and returns ev to the free list.
+func (l *eventLoop) release(ev *event) {
+	ev.kind = evNone
+	ev.task = nil
+	ev.fn = nil
+	ev.id = 0
+	ev.hidx = queue.NoHeapIndex
+	l.free = append(l.free, ev)
+}
+
+// next pops the earliest pending event, or nil when drained. The caller
+// must release it after copying the payload out.
 func (l *eventLoop) next() *event {
-	for {
-		ev, ok := l.heap.Pop()
-		if !ok {
-			return nil
-		}
-		if !ev.canceled {
-			l.active--
-			return ev
-		}
+	ev, ok := l.heap.Pop()
+	if !ok {
+		return nil
 	}
+	return ev
 }
 
 // peekTime returns the time of the earliest pending event.
 func (l *eventLoop) peekTime() (time.Duration, bool) {
-	for {
-		ev, ok := l.heap.Peek()
-		if !ok {
-			return 0, false
-		}
-		if !ev.canceled {
-			return ev.at, true
-		}
-		l.heap.Pop()
+	ev, ok := l.heap.Peek()
+	if !ok {
+		return 0, false
 	}
+	return ev.at, true
 }
 
-// activeLen returns the number of pending non-canceled events.
-func (l *eventLoop) activeLen() int { return l.active }
+// activeLen returns the number of pending events.
+func (l *eventLoop) activeLen() int { return l.heap.Len() }
+
+// freeLen returns the current free-list size (pool-reuse tests).
+func (l *eventLoop) freeLen() int { return len(l.free) }

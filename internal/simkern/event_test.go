@@ -1,0 +1,250 @@
+package simkern
+
+// Tests for the typed, pooled event core: free-list reuse, O(log n)
+// cancellation, cancel-then-fire safety, and the bounded-heap guarantee
+// that replaced the tombstone scheme (which grew the heap by one dead
+// entry per preempt/replace cycle under CFS churn).
+
+import (
+	"testing"
+	"time"
+)
+
+// drainKernel builds a 1-core kernel with a no-op handler.
+func drainKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k, err := New(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetHandler(nopHandler{})
+	return k
+}
+
+type nopHandler struct{}
+
+func (nopHandler) OnTaskArrived(*Task)          {}
+func (nopHandler) OnTaskFinished(*Task, CoreID) {}
+
+func TestEventPoolReuse(t *testing.T) {
+	k := drainKernel(t)
+	const n = 64
+	for i := 0; i < n; i++ {
+		k.SetTimer(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.loop.freeLen(); got != n {
+		t.Fatalf("free list holds %d events after draining %d, want all recycled", got, n)
+	}
+	// A fresh schedule must come from the pool, not the allocator.
+	k.SetTimer(time.Hour, func() {})
+	if got := k.loop.freeLen(); got != n-1 {
+		t.Fatalf("free list %d after one reschedule, want %d", got, n-1)
+	}
+	if k.loop.activeLen() != 1 {
+		t.Fatalf("activeLen = %d, want 1", k.loop.activeLen())
+	}
+}
+
+func TestEventPoolSteadyState(t *testing.T) {
+	k := drainKernel(t)
+	// A self-rescheduling timer chain: steady state must cycle through a
+	// constant-size pool instead of allocating per event.
+	var fired int
+	var again func()
+	again = func() {
+		fired++
+		if fired < 10000 {
+			k.SetTimer(k.Now()+time.Microsecond, again)
+		}
+	}
+	k.SetTimer(0, again)
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10000 {
+		t.Fatalf("fired %d, want 10000", fired)
+	}
+	if pool := k.loop.freeLen(); pool > 4 {
+		t.Fatalf("pool grew to %d events for a 1-deep timer chain", pool)
+	}
+}
+
+func TestCancelRemovesFromHeap(t *testing.T) {
+	k := drainKernel(t)
+	ids := make([]TimerID, 0, 100)
+	for i := 0; i < 100; i++ {
+		ids = append(ids, k.SetTimer(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if k.loop.activeLen() != 100 {
+		t.Fatalf("activeLen = %d, want 100", k.loop.activeLen())
+	}
+	for i := 0; i < len(ids); i += 2 {
+		if !k.CancelTimer(ids[i]) {
+			t.Fatalf("timer %d not pending", ids[i])
+		}
+	}
+	// Cancellation is a true removal: the heap shrinks immediately and
+	// the structs return to the pool.
+	if k.loop.activeLen() != 50 {
+		t.Fatalf("activeLen = %d after cancelling half, want 50", k.loop.activeLen())
+	}
+	if k.loop.freeLen() != 50 {
+		t.Fatalf("freeLen = %d after cancelling half, want 50", k.loop.freeLen())
+	}
+	n, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("processed %d events, want the 50 survivors", n)
+	}
+}
+
+// TestTimerCancelUnderChurn stresses interleaved set/cancel/fire cycles
+// and checks the exact surviving set fires.
+func TestTimerCancelUnderChurn(t *testing.T) {
+	k := drainKernel(t)
+	fired := map[int]bool{}
+	canceled := map[int]bool{}
+	ids := map[int]TimerID{}
+	next := 0
+	// Seed churn: every firing timer cancels one pending sibling and
+	// schedules two more, up to a population cap.
+	var arm func(at time.Duration)
+	arm = func(at time.Duration) {
+		if next >= 500 {
+			return
+		}
+		n := next
+		next++
+		ids[n] = k.SetTimer(at, func() {
+			fired[n] = true
+			// Cancel the oldest still-pending sibling.
+			for m := 0; m < n; m++ {
+				if !fired[m] && !canceled[m] {
+					if k.CancelTimer(ids[m]) {
+						canceled[m] = true
+					}
+					break
+				}
+			}
+			arm(k.Now() + 3*time.Microsecond)
+			arm(k.Now() + 5*time.Microsecond)
+		})
+	}
+	for i := 0; i < 10; i++ {
+		arm(time.Duration(i+1) * time.Microsecond)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for n := range fired {
+		if canceled[n] {
+			t.Fatalf("timer %d both fired and was cancelled", n)
+		}
+	}
+	if len(fired)+len(canceled) != next {
+		t.Fatalf("fired %d + cancelled %d != armed %d", len(fired), len(canceled), next)
+	}
+	if len(fired) == 0 || len(canceled) == 0 {
+		t.Fatal("churn test degenerated: nothing fired or nothing cancelled")
+	}
+}
+
+// TestCancelThenFireRace covers the preemption race: a cancelled
+// completion event must never fire, even when the task is immediately
+// re-dispatched and a new completion is scheduled for the same instant.
+func TestCancelThenFireRace(t *testing.T) {
+	k := drainKernel(t)
+	task := &Task{ID: 1, Work: 10 * time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	var finishes int
+	k.SetHandler(handlerFns{
+		arrived: func(tk *Task) {
+			if err := k.RunTask(0, tk); err != nil {
+				t.Fatal(err)
+			}
+		},
+		finished: func(*Task, CoreID) { finishes++ },
+	})
+	// Preempt and instantly replace, 50 times, at 1ms intervals.
+	for i := 1; i <= 50; i++ {
+		k.SetTimer(time.Duration(i)*time.Millisecond, func() {
+			got, err := k.Preempt(0)
+			if err != nil {
+				return // already finished
+			}
+			if err := k.RunTask(0, got); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if finishes != 1 {
+		t.Fatalf("task finished %d times, want exactly 1", finishes)
+	}
+	if task.State() != StateFinished {
+		t.Fatalf("task state = %v, want finished", task.State())
+	}
+}
+
+type handlerFns struct {
+	arrived  func(*Task)
+	finished func(*Task, CoreID)
+}
+
+func (h handlerFns) OnTaskArrived(t *Task)            { h.arrived(t) }
+func (h handlerFns) OnTaskFinished(t *Task, c CoreID) { h.finished(t, c) }
+
+// TestHeapBoundedUnderPreemptReplace is the regression test for the
+// tombstone-cancel bloat: under repeated preempt/replace cycles the
+// pending-event heap must stay at the number of live events (here: the
+// completion plus the driving timer), not grow with cycle count.
+func TestHeapBoundedUnderPreemptReplace(t *testing.T) {
+	k := drainKernel(t)
+	task := &Task{ID: 1, Work: time.Hour}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	k.SetHandler(handlerFns{
+		arrived:  func(tk *Task) { _ = k.RunTask(0, tk) },
+		finished: func(*Task, CoreID) {},
+	})
+	cycles := 0
+	maxHeap := 0
+	var churn func()
+	churn = func() {
+		if k.loop.activeLen() > maxHeap {
+			maxHeap = k.loop.activeLen()
+		}
+		if cycles >= 20000 {
+			_, _ = k.Preempt(0) // park the task so Run drains
+			return
+		}
+		cycles++
+		got, err := k.Preempt(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.RunTask(0, got); err != nil {
+			t.Fatal(err)
+		}
+		k.SetTimer(k.Now()+time.Microsecond, churn)
+	}
+	k.SetTimer(time.Microsecond, churn)
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Live events per cycle: 1 completion + 1 churn timer (+1 sampler at
+	// most). The tombstone core peaked at ~cycle count here.
+	if maxHeap > 8 {
+		t.Fatalf("heap peaked at %d events over %d preempt/replace cycles, want O(1)", maxHeap, cycles)
+	}
+}

@@ -177,13 +177,7 @@ func (k *Kernel) AddTask(t *Task) error {
 	t.firstRun = NoTime
 	t.finish = NoTime
 	k.tasks = append(k.tasks, t)
-	k.loop.schedule(t.Arrival, func() {
-		if t.state != StateNew {
-			return // aborted before arrival
-		}
-		t.state = StateRunnable
-		k.handler.OnTaskArrived(t)
-	})
+	k.loop.schedule(t.Arrival, evArrival).task = t
 	return nil
 }
 
@@ -210,10 +204,35 @@ func (k *Kernel) Run(horizon time.Duration) (int, error) {
 		}
 		ev := k.loop.next()
 		k.now = ev.at
-		ev.fn()
+		k.dispatch(ev)
 		processed++
 	}
 	return processed, nil
+}
+
+// dispatch copies the payload out of ev, recycles it, and runs the typed
+// switch. Releasing first is safe — and required — because the handler
+// code below may schedule new events, which reuse pooled structs.
+func (k *Kernel) dispatch(ev *event) {
+	kind, task, fn, id := ev.kind, ev.task, ev.fn, ev.id
+	k.loop.release(ev)
+	switch kind {
+	case evArrival:
+		if task.state != StateNew {
+			return // aborted before arrival
+		}
+		task.state = StateRunnable
+		k.handler.OnTaskArrived(task)
+	case evCompletion:
+		k.complete(k.cores[task.core], task)
+	case evTimer:
+		if id != 0 {
+			delete(k.timers, id)
+		}
+		fn()
+	case evSample:
+		k.sample()
+	}
 }
 
 // RunTask places runnable task t on idle core c. The core spends SwitchCost
@@ -244,9 +263,9 @@ func (k *Kernel) RunTask(c CoreID, t *Task) error {
 	t.segStart = k.now + k.cfg.SwitchCost
 	t.remainingAtGo = t.Work + t.extraWork - t.cpuConsumed
 	completeAt := t.segStart + k.interf.Advance(c, t.segStart, t.remainingAtGo)
-	t.completion = k.loop.schedule(completeAt, func() {
-		k.complete(cr, t)
-	})
+	ev := k.loop.schedule(completeAt, evCompletion)
+	ev.task = t
+	t.completion = ev
 	return nil
 }
 
@@ -324,12 +343,30 @@ func (k *Kernel) SetTimer(at time.Duration, fn func()) TimerID {
 	}
 	k.nextTimerID++
 	id := k.nextTimerID
-	ev := k.loop.schedule(at, func() {
-		delete(k.timers, id)
-		fn()
-	})
+	ev := k.loop.schedule(at, evTimer)
+	ev.fn = fn
+	ev.id = id
 	k.timers[id] = ev
 	return id
+}
+
+// EventSeq returns the sequence number of the most recently scheduled
+// event. The delegation layer compares snapshots of it to prove that no
+// event was scheduled between two message emissions, which is the
+// condition under which their deliveries may share one batch without
+// perturbing the (time, seq) firing order.
+func (k *Kernel) EventSeq() uint64 { return k.loop.seq }
+
+// ScheduleFn schedules fn at time at (clamped to now) with no
+// cancellation handle: unlike SetTimer it never touches the timer table,
+// so it is the cheap path for callbacks that always fire — the delegation
+// layer's agent ticks and message-batch flushes, which account for almost
+// all timer traffic.
+func (k *Kernel) ScheduleFn(at time.Duration, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.loop.schedule(at, evTimer).fn = fn
 }
 
 // CancelTimer cancels a pending timer; it reports whether the timer was
@@ -429,24 +466,28 @@ func (k *Kernel) core(c CoreID) (*core, error) {
 }
 
 func (k *Kernel) scheduleSample() {
-	k.loop.schedule(k.now+k.cfg.SampleEvery, func() {
-		for _, cr := range k.cores {
-			busy := cr.busyAccum
-			if cr.task != nil {
-				busy += k.now - cr.busySince
-			}
-			cr.lastUtil = float64(busy-cr.lastSampleBusy) / float64(k.cfg.SampleEvery)
-			cr.lastSampleBusy = busy
-			if cr.utilHist != nil {
-				cr.utilHist.Append(k.now, cr.lastUtil)
-			}
+	k.loop.schedule(k.now+k.cfg.SampleEvery, evSample)
+}
+
+// sample publishes per-core utilization for the window that just closed
+// (the simulated psutil daemon readout) and re-arms the sampler.
+func (k *Kernel) sample() {
+	for _, cr := range k.cores {
+		busy := cr.busyAccum
+		if cr.task != nil {
+			busy += k.now - cr.busySince
 		}
-		// Stop sampling once the machine is drained so the event loop can
-		// terminate; Run restarts it lazily if more work arrives.
-		if k.Outstanding() > 0 || k.loop.activeLen() > 0 {
-			k.scheduleSample()
-		} else {
-			k.sampling = false
+		cr.lastUtil = float64(busy-cr.lastSampleBusy) / float64(k.cfg.SampleEvery)
+		cr.lastSampleBusy = busy
+		if cr.utilHist != nil {
+			cr.utilHist.Append(k.now, cr.lastUtil)
 		}
-	})
+	}
+	// Stop sampling once the machine is drained so the event loop can
+	// terminate; Run restarts it lazily if more work arrives.
+	if k.Outstanding() > 0 || k.loop.activeLen() > 0 {
+		k.scheduleSample()
+	} else {
+		k.sampling = false
+	}
 }

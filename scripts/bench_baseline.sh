@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerates BENCH_baseline.json: the repo's recorded performance
+# trajectory. Run from the repo root on an otherwise idle machine.
+#
+#   ./scripts/bench_baseline.sh            # rewrite BENCH_baseline.json
+#   ./scripts/bench_baseline.sh /dev/stdout  # print without rewriting
+#
+# The set below pairs the substrate micro-benchmarks (dispatch mechanism,
+# end-to-end CFS event throughput, workload pipeline, facade) with a few
+# figure benchmarks as end-to-end sentinels. Figure benchmarks run 1
+# iteration (they simulate whole experiments); micro-benchmarks use the
+# default 1s benchtime.
+set -e
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_baseline.json}"
+
+MICRO='BenchmarkKernelDispatch$|BenchmarkCFSSimulation$|BenchmarkWorkloadBuild$|BenchmarkFacadeSimulate'
+FIGS='BenchmarkFig06Hybrid$|BenchmarkTable1Summary$|BenchmarkFig13Preemptions$'
+
+{
+  go test -run '^$' -bench "$MICRO" -benchmem .
+  go test -run '^$' -bench "$FIGS" -benchtime 1x -benchmem .
+} | go run ./cmd/benchfmt > "$OUT"
+echo "wrote $OUT" >&2
