@@ -19,8 +19,13 @@ import (
 
 	"github.com/faassched/faassched/internal/experiments"
 	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/policy/cfs"
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/pricing"
 	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/simrun"
+	"github.com/faassched/faassched/internal/trace"
 	"github.com/faassched/faassched/internal/workload"
 )
 
@@ -216,6 +221,96 @@ func BenchmarkCFSSimulation(b *testing.B) {
 		b.ReportMetric(float64(n), "events/run")
 	}
 }
+
+// fullscaleWorkload builds the window shared by the dataflow-comparison
+// benchmarks: a ×1-rate (already-downscaled-volume, Downscale=1) arrival
+// stream with shortened durations (~119 ms mean, ~12 busy cores at the
+// 6,221/min calibrated rate) so a 16-core machine sustains it at ~77%
+// utilization. Sustainability is the point, not a dodge: the streaming
+// memory bound is O(active tasks + look-ahead window), and on an
+// overloaded box every task is active — no dataflow can bound that.
+// Long-horizon runs (ext-diurnal) are exactly the sustained-rate regime
+// this models.
+var (
+	fullscaleBenchOnce sync.Once
+	fullscaleBenchInvs []workload.Invocation
+)
+
+func fullscaleWorkload(b *testing.B) []workload.Invocation {
+	b.Helper()
+	fullscaleBenchOnce.Do(func() {
+		cfg := trace.DefaultConfig()
+		cfg.Minutes = 2
+		cfg.RateScale = 1
+		cfg.ShortMedianMs = 30
+		cfg.TailMedianMs = 2000
+		cfg.TailWeight = 0.01
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fullscaleBenchInvs, err = workload.Builder{Downscale: 1}.Build(tr, 0, 2)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fullscaleBenchInvs
+}
+
+// BenchmarkStreamedFullscale contrasts the two dataflows end to end under
+// FIFO (run-to-completion, so the policy itself allocates nothing and the
+// dataflow difference is the whole signal): "materialized" seeds every
+// task up front and Collects every record afterwards — allocs/op scales
+// with total invocations — while "streamed" feeds the same window through
+// lazy admission, task recycling, and a fixed-memory accumulator sink —
+// allocs/op is bounded by active tasks + the look-ahead window. The
+// allocs/op ratio between the sub-benchmarks is the memory win the
+// streaming dataflow exists for (BENCH_baseline.json records it;
+// peak_tasks reports the pool high-water mark).
+func BenchmarkStreamedFullscale(b *testing.B) {
+	invs := fullscaleWorkload(b)
+	kcfg := simkern.DefaultConfig(16)
+
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k, err := simrun.Exec(kcfg, fifoPolicy(), ghost.Config{}, simrun.AddTasks(workload.Tasks(invs)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			set := metrics.Collect(k)
+			if len(set.Records) != len(invs) {
+				b.Fatalf("collected %d of %d", len(set.Records), len(invs))
+			}
+		}
+		b.ReportMetric(float64(len(invs)), "invocations")
+	})
+	b.Run("streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		var poolHighWater int
+		for i := 0; i < b.N; i++ {
+			pool := workload.NewTaskPool()
+			src, stop := simrun.PooledTasks(workload.SliceSource(invs), pool)
+			acc := metrics.NewAccumulator(pricing.Default())
+			// A 5 s look-ahead (vs the 30 s default) makes the window term
+			// of the O(active + look-ahead) bound visible at this rate.
+			_, err := simrun.ExecStream(kcfg, fifoPolicy(), ghost.Config{}, src,
+				simrun.StreamConfig{Window: 5 * time.Second, Sink: acc, Recycle: func(t *simkern.Task) { pool.Put(t) }})
+			stop()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if acc.Completed() != len(invs) {
+				b.Fatalf("accumulated %d of %d", acc.Completed(), len(invs))
+			}
+			poolHighWater = pool.FreeLen()
+		}
+		b.ReportMetric(float64(len(invs)), "invocations")
+		b.ReportMetric(float64(poolHighWater), "peak_tasks")
+	})
+}
+
+func fifoPolicy() ghost.Policy { return fifo.New(fifo.Config{}) }
 
 // BenchmarkWorkloadBuild measures the §V-B pipeline.
 func BenchmarkWorkloadBuild(b *testing.B) {

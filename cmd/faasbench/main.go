@@ -33,6 +33,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		experiment = fs.String("experiment", "all", "comma-separated experiment ids, or 'all' (see -list)")
 		scaleFlag  = fs.String("scale", "quick", "experiment scale: quick|full|fullscale (fullscale = no ×100 trace downscaling, ~1.2M invocations)")
+		minutes    = fs.Int("minutes", 0, "override the ext-diurnal horizon in trace minutes, up to 1440 (0 = scale default)")
 		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")
@@ -47,13 +48,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
+	// Validate every argument before any experiment runs, so scripts get a
+	// nonzero exit and the full list of valid values up front instead of a
+	// failure halfway through a long sweep.
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
 		return err
 	}
+	if *minutes < 0 || *minutes > 1440 {
+		return fmt.Errorf("-minutes %d out of [0, 1440]", *minutes)
+	}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+			if _, err := experiments.Lookup(ids[i]); err != nil {
+				return err // carries the unknown id and the valid-id list
+			}
+		}
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -62,10 +75,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	env := experiments.NewEnv(scale)
+	env.DiurnalMinutes = *minutes
 	fmt.Fprintf(stdout, "# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
 	for _, id := range ids {
 		start := time.Now()
-		fig, err := experiments.Run(env, strings.TrimSpace(id))
+		fig, err := experiments.Run(env, id)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

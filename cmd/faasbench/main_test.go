@@ -26,6 +26,8 @@ func TestArgumentErrors(t *testing.T) {
 		{"bad scale", []string{"-scale", "huge"}},
 		{"unknown experiment", []string{"-experiment", "fig99"}},
 		{"positional args", []string{"fig1"}},
+		{"bad minutes", []string{"-minutes", "-5"}},
+		{"huge minutes", []string{"-minutes", "2000"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -34,6 +36,53 @@ func TestArgumentErrors(t *testing.T) {
 				t.Errorf("args %v accepted", tc.args)
 			}
 		})
+	}
+}
+
+// TestUnknownExperimentRejectedUpfront: an unknown id anywhere in the
+// list must fail before any experiment runs, with a nonzero-exit error
+// naming the valid ids — the scripting contract.
+func TestUnknownExperimentRejectedUpfront(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-experiment", "fig1,fig99"}, &out)
+	if err == nil {
+		t.Fatal("unknown experiment in list accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("error does not name the unknown id: %v", err)
+	}
+	if !strings.Contains(err.Error(), "table1") {
+		t.Errorf("error does not list valid ids: %v", err)
+	}
+	if strings.Contains(out.String(), "fig1 done") {
+		t.Error("fig1 ran before validation failed")
+	}
+}
+
+// TestBadScaleErrorListsValidScales: same contract for -scale.
+func TestBadScaleErrorListsValidScales(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-scale", "huge"}, &out)
+	if err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if !strings.Contains(err.Error(), "quick|full|fullscale") {
+		t.Errorf("error does not list valid scales: %v", err)
+	}
+}
+
+// TestDiurnalMinutesKnob runs the streamed diurnal experiment on a tiny
+// horizon end to end through the CLI.
+func TestDiurnalMinutesKnob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-experiment", "ext-diurnal", "-scale", "quick", "-minutes", "3", "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ext-diurnal done") {
+		t.Errorf("output missing completion marker: %q", out.String())
 	}
 }
 

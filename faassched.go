@@ -26,6 +26,7 @@ package faassched
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/faassched/faassched/internal/cluster"
@@ -92,8 +93,11 @@ type WorkloadSpec struct {
 	Downscale int
 }
 
-// BuildWorkload synthesizes a workload from spec.
-func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
+// resolveWorkloadSpec applies spec defaulting and validation and
+// synthesizes the backing trace — the one shared front half of
+// BuildWorkload and BuildWorkloadSource, so the materialized and lazy
+// paths cannot drift.
+func resolveWorkloadSpec(spec WorkloadSpec) (workload.Builder, *trace.Trace, int, error) {
 	if spec.Seed == 0 {
 		spec.Seed = 1
 	}
@@ -101,19 +105,28 @@ func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
 		spec.Minutes = 2
 	}
 	if spec.Minutes < 1 || spec.Minutes > 10 {
-		return nil, fmt.Errorf("faassched: Minutes %d out of [1,10]", spec.Minutes)
+		return workload.Builder{}, nil, 0, fmt.Errorf("faassched: Minutes %d out of [1,10]", spec.Minutes)
 	}
 	if spec.Downscale < 0 {
-		return nil, fmt.Errorf("faassched: Downscale must be >= 0, got %d", spec.Downscale)
+		return workload.Builder{}, nil, 0, fmt.Errorf("faassched: Downscale must be >= 0, got %d", spec.Downscale)
 	}
 	cfg := trace.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.Minutes = 10
 	tr, err := trace.Generate(cfg)
 	if err != nil {
+		return workload.Builder{}, nil, 0, err
+	}
+	return workload.Builder{Downscale: spec.Downscale}, tr, spec.Minutes, nil
+}
+
+// BuildWorkload synthesizes a workload from spec.
+func BuildWorkload(spec WorkloadSpec) ([]Invocation, error) {
+	b, tr, minutes, err := resolveWorkloadSpec(spec)
+	if err != nil {
 		return nil, err
 	}
-	invs, err := workload.Builder{Downscale: spec.Downscale}.Build(tr, 0, spec.Minutes)
+	invs, err := b.Build(tr, 0, minutes)
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +316,167 @@ func Simulate(opts Options, invs []Invocation) (*Result, error) {
 // build custom workloads.
 func DurationModel() fib.DurationModel { return fib.DefaultModel() }
 
+// Source re-exports the lazy invocation stream: an iter.Seq-style
+// iterator yielding invocations in arrival order. Sources feed the
+// streaming simulation entry points, which keep peak memory proportional
+// to active tasks plus a bounded look-ahead window instead of the total
+// invocation count — the difference between a two-minute snapshot and a
+// multi-hour diurnal horizon.
+type Source = workload.Source
+
+// SliceSource adapts a materialized workload to a Source.
+func SliceSource(invs []Invocation) Source { return workload.SliceSource(invs) }
+
+// BuildWorkloadSource is BuildWorkload's lazy sibling: the trace is
+// synthesized up front (cheap), but invocations are derived minute by
+// minute as the consumer pulls them. MaxInvocations requires knowing the
+// total and therefore falls back to materializing once; leave it zero for
+// true streaming.
+func BuildWorkloadSource(spec WorkloadSpec) (Source, error) {
+	if spec.MaxInvocations > 0 {
+		invs, err := BuildWorkload(spec)
+		if err != nil {
+			return nil, err
+		}
+		return workload.SliceSource(invs), nil
+	}
+	b, tr, minutes, err := resolveWorkloadSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return b.Stream(tr, 0, minutes)
+}
+
+// streamOpts validates opts for the streaming entry points and returns
+// the policy. Firecracker mode needs the materialized launcher.
+func streamOpts(opts Options) (Options, ghost.Policy, error) {
+	if opts.Cores == 0 {
+		opts.Cores = 8
+	}
+	if opts.Cores < 2 {
+		return opts, nil, fmt.Errorf("faassched: need at least 2 cores, got %d", opts.Cores)
+	}
+	if opts.Scheduler == "" {
+		opts.Scheduler = SchedulerHybrid
+	}
+	if opts.Firecracker {
+		return opts, nil, fmt.Errorf("faassched: Firecracker mode requires Simulate (microVM launches need the materialized workload)")
+	}
+	policy, err := newPolicy(opts)
+	if err != nil {
+		return opts, nil, err
+	}
+	return opts, policy, nil
+}
+
+// SimulateStreamed runs src through the streaming dataflow — lazy arrival
+// admission, completion-sink retirement, task recycling — with the exact
+// in-memory record sink, and is observationally identical to Simulate on
+// the materialized equivalent of src (TestGoldenDigests pins this per
+// scheduler), with one caveat: exact identity for tick-driven schedulers
+// additionally requires every fully idle traffic gap to be shorter than
+// the look-ahead window, or the paused tick grid re-phases at the next
+// arrival (DESIGN.md §7). Memory for the record set is still
+// O(invocations); use SimulateAccumulated when the horizon makes even
+// that too much.
+func SimulateStreamed(opts Options, src Source) (*Result, error) {
+	opts, policy, err := streamOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	var set metrics.Set
+	kernel, err := runStream(opts, policy, src, &set)
+	if err != nil {
+		return nil, err
+	}
+	if len(set.Records) == 0 {
+		return nil, fmt.Errorf("faassched: empty workload")
+	}
+	sort.Slice(set.Records, func(i, j int) bool { return set.Records[i].ID < set.Records[j].ID })
+	return &Result{
+		Scheduler:   opts.Scheduler,
+		Set:         set,
+		Makespan:    kernel.Makespan(),
+		Preemptions: set.TotalPreemptions(),
+	}, nil
+}
+
+// StreamStats is a finished fixed-memory streaming simulation: counts,
+// totals, and histogram-backed quantiles instead of per-invocation
+// records.
+type StreamStats struct {
+	// Scheduler that produced this result.
+	Scheduler Scheduler
+	// Completed and Failed count retired invocations.
+	Completed int
+	Failed    int
+	// Preemptions is the total task preemption count.
+	Preemptions int
+	// Makespan is the completion time of the last task.
+	Makespan time.Duration
+	// CostUSD bills every completed invocation at its own memory size
+	// under the default tariff.
+	CostUSD float64
+
+	acc *metrics.Accumulator
+}
+
+// QuantileMs estimates metric m's q-th quantile in milliseconds from the
+// streaming histograms (log-bucket resolution, a few percent of relative
+// error).
+func (s *StreamStats) QuantileMs(m Metric, q float64) (float64, error) {
+	return s.acc.Quantile(m, q)
+}
+
+// P99Seconds estimates the 99th percentile of metric m in seconds.
+func (s *StreamStats) P99Seconds(m Metric) (float64, error) { return s.acc.P99(m) }
+
+// CostAtUniformMemoryUSD rebills every invocation as if it had memMB.
+func (s *StreamStats) CostAtUniformMemoryUSD(memMB int) float64 {
+	return s.acc.CostAtUniformMemory(memMB)
+}
+
+// Summary returns a one-line digest (quantiles are histogram estimates).
+func (s *StreamStats) Summary() string {
+	return fmt.Sprintf("%s: %s | preemptions=%d makespan=%s cost=$%.6f",
+		s.Scheduler, s.acc.Summary(), s.Preemptions, s.Makespan, s.CostUSD)
+}
+
+// SimulateAccumulated runs src through the streaming dataflow with the
+// fixed-memory accumulator sink: peak memory is O(active tasks +
+// look-ahead window) no matter how long the workload runs. This is the
+// entry point behind the multi-hour ext-diurnal experiment.
+func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
+	opts, policy, err := streamOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	acc := metrics.NewAccumulator(pricing.Default())
+	kernel, err := runStream(opts, policy, src, acc)
+	if err != nil {
+		return nil, err
+	}
+	if acc.Completed() == 0 {
+		return nil, fmt.Errorf("faassched: empty workload")
+	}
+	return &StreamStats{
+		Scheduler:   opts.Scheduler,
+		Completed:   acc.Completed(),
+		Failed:      acc.FailedCount(),
+		Preemptions: acc.TotalPreemptions(),
+		Makespan:    kernel.Makespan(),
+		CostUSD:     acc.Cost(),
+		acc:         acc,
+	}, nil
+}
+
+// runStream executes the shared streaming run: pooled tasks, lazy
+// admission, sink retirement.
+func runStream(opts Options, policy ghost.Policy, src Source, sink metrics.Sink) (*simkern.Kernel, error) {
+	return simrun.ExecStreamPooled(simkern.DefaultConfig(opts.Cores), policy, ghost.Config{}, src,
+		simrun.StreamConfig{Sink: sink})
+}
+
 // Dispatch re-exports the cluster-level dispatch policy selector.
 type Dispatch = cluster.Dispatch
 
@@ -335,6 +509,12 @@ type ClusterOptions struct {
 	FIFOCores int
 	// TimeLimit overrides the hybrid's static preemption limit.
 	TimeLimit time.Duration
+	// Streamed drives every server through the lazy-admission streaming
+	// dataflow with a per-server sink and task pool. Results are
+	// bit-for-bit identical to the materialized path (subject to the idle
+	// gap caveat on SimulateStreamed); per-server peak memory drops to
+	// active tasks + look-ahead window.
+	Streamed bool
 }
 
 // ServerResult re-exports one server's share of a fleet simulation.
@@ -406,6 +586,7 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		Servers:  opts.Servers,
 		Dispatch: opts.Dispatch,
 		Seed:     opts.Seed,
+		Streamed: opts.Streamed,
 		Kernel:   simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)

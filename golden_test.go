@@ -5,7 +5,10 @@ package faassched
 // hashed. The committed digests in testdata/golden_digests.json pin the
 // simulator's observable behavior bit-for-bit — a refactor of the event
 // core must not change a single one, because events must keep firing in
-// exactly the same (time, seq) order.
+// exactly the same (time, class, seq) order. Every scheduler and fleet
+// dispatch runs through BOTH dataflows — materialized (pre-seeded tasks,
+// end-of-run Collect) and streamed (lazy admission, completion sinks,
+// task recycling) — and both must hash to the same committed digest.
 //
 // Regenerate (only when an intentional semantic change is made) with:
 //
@@ -66,7 +69,8 @@ func digestCluster(r *ClusterResult) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// computeDigests runs the full golden matrix.
+// computeDigests runs the full golden matrix through the materialized
+// dataflow (pre-seeded tasks, end-of-run Collect).
 func computeDigests(t *testing.T) map[string]string {
 	t.Helper()
 	invs := goldenWorkload(t)
@@ -108,8 +112,57 @@ func computeDigests(t *testing.T) map[string]string {
 	return out
 }
 
+// computeStreamedDigests reruns the golden matrix through the streaming
+// dataflow — lazy arrival admission, completion-sink retirement, task
+// recycling — under the SAME keys as computeDigests. The streaming
+// refactor's core claim is that both dataflows are observationally
+// identical, so every streamed digest must match the committed
+// materialized digest bit for bit. (The Firecracker entry has no streamed
+// analog: microVM launches need the materialized workload.)
+func computeStreamedDigests(t *testing.T) map[string]string {
+	t.Helper()
+	invs := goldenWorkload(t)
+	out := map[string]string{}
+
+	for _, sched := range Schedulers() {
+		res, err := SimulateStreamed(Options{Cores: 8, Scheduler: sched}, SliceSource(invs))
+		if err != nil {
+			t.Fatalf("streamed %s: %v", sched, err)
+		}
+		out["sim/"+string(sched)] = digestResult(res)
+	}
+	for _, d := range Dispatches() {
+		cres, err := SimulateCluster(ClusterOptions{
+			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1, Streamed: true,
+		}, invs)
+		if err != nil {
+			t.Fatalf("streamed cluster %s: %v", d, err)
+		}
+		out["cluster/hybrid/"+string(d)] = digestCluster(cres)
+	}
+	cres, err := SimulateCluster(ClusterOptions{
+		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1, Streamed: true,
+	}, invs)
+	if err != nil {
+		t.Fatalf("streamed cluster cfs: %v", err)
+	}
+	out["cluster/cfs/least-loaded"] = digestCluster(cres)
+	return out
+}
+
 func TestGoldenDigests(t *testing.T) {
 	got := computeDigests(t)
+
+	// The streamed dataflow must reproduce the materialized digests for
+	// every scheduler and every fleet dispatch — this is the proof that
+	// lazy admission + sink retirement + task recycling are
+	// observationally invisible.
+	streamed := computeStreamedDigests(t)
+	for k, v := range streamed {
+		if got[k] != v {
+			t.Errorf("streamed dataflow diverges from materialized on %s:\n  streamed     %.12s…\n  materialized %.12s…", k, v, got[k])
+		}
+	}
 
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {

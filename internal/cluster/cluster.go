@@ -40,6 +40,21 @@ type Config struct {
 	Policy func() ghost.Policy
 	// Ghost configures each server's delegation enclave.
 	Ghost ghost.Config
+	// Streamed drives every server through the lazy-admission streaming
+	// dataflow (simrun.ExecStream): each server gets its own completion
+	// sink and task pool, so per-server peak memory is bounded by active
+	// tasks plus the look-ahead window rather than the routed share. The
+	// per-server sinks merge exactly as the materialized sets do (records
+	// re-sorted by global invocation id), so results are bit-for-bit
+	// identical either way — provided the policy never calls
+	// Env.AbortTask (see simrun.ExecStream's precondition; no dispatchable
+	// policy does) and no fully idle traffic gap exceeds the look-ahead
+	// window (else tick-driven policies re-phase their agent tick,
+	// DESIGN.md §7).
+	Streamed bool
+	// Window overrides the streamed feeders' look-ahead half-window.
+	// Zero means simrun.DefaultWindow. Ignored unless Streamed.
+	Window time.Duration
 }
 
 // ServerResult is one server's share of a fleet simulation.
@@ -201,16 +216,52 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []routed) (ServerRe
 	if len(share) == 0 {
 		return out, nil
 	}
-	tasks := make([]*simkern.Task, 0, len(share))
-	for _, r := range share {
-		tasks = append(tasks, workload.Task(r.inv, simkern.TaskID(r.idx+1)))
+	var k *simkern.Kernel
+	var err error
+	if cfg.Streamed {
+		k, out.Set, err = runStreamed(cfg, policy, share)
+	} else {
+		tasks := make([]*simkern.Task, 0, len(share))
+		for _, r := range share {
+			tasks = append(tasks, workload.Task(r.inv, simkern.TaskID(r.idx+1)))
+		}
+		if k, err = simrun.Exec(cfg.Kernel, policy, cfg.Ghost, simrun.AddTasks(tasks)); err == nil {
+			out.Set = metrics.Collect(k)
+		}
 	}
-	k, err := simrun.Exec(cfg.Kernel, policy, cfg.Ghost, simrun.AddTasks(tasks))
 	if err != nil {
 		return out, err
 	}
-	out.Set = metrics.Collect(k)
 	out.Makespan = k.Makespan()
 	out.Preemptions = out.Set.TotalPreemptions()
 	return out, nil
+}
+
+// runStreamed drives one server's share through the streaming dataflow: a
+// per-server task pool feeds the lazy-admission feeder, and an exact Set
+// sink gathers completions. Records arrive in completion order and are
+// re-sorted by global invocation id, which is exactly the order
+// metrics.Collect reports for the materialized path.
+func runStreamed(cfg Config, policy ghost.Policy, share []routed) (*simkern.Kernel, metrics.Set, error) {
+	pool := workload.NewTaskPool()
+	i := 0
+	src := func() (*simkern.Task, bool) {
+		if i >= len(share) {
+			return nil, false
+		}
+		r := share[i]
+		i++
+		return pool.Get(r.inv, simkern.TaskID(r.idx+1)), true
+	}
+	var set metrics.Set
+	k, err := simrun.ExecStream(cfg.Kernel, policy, cfg.Ghost, src, simrun.StreamConfig{
+		Window:  cfg.Window,
+		Sink:    &set,
+		Recycle: func(t *simkern.Task) { pool.Put(t) },
+	})
+	if err != nil {
+		return nil, metrics.Set{}, err
+	}
+	sort.Slice(set.Records, func(a, b int) bool { return set.Records[a].ID < set.Records[b].ID })
+	return k, set, nil
 }

@@ -100,6 +100,11 @@ type Env struct {
 	W2Max  int
 	W10Max int
 
+	// DiurnalMinutes overrides the ext-diurnal horizon, in trace minutes
+	// (the faasbench -minutes knob). Zero means the scale default: 30 at
+	// quick, 360 (6 h) at full, 1440 (24 h) at fullscale.
+	DiurnalMinutes int
+
 	mu  sync.Mutex
 	tr  *trace.Trace
 	w2  []workload.Invocation

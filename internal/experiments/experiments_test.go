@@ -24,6 +24,7 @@ func testEnv(t *testing.T) *Env {
 		if testing.Short() {
 			sharedEnv.W2Max = 400
 			sharedEnv.W10Max = 600
+			sharedEnv.DiurnalMinutes = 6
 		}
 		if _, err := sharedEnv.W2(); err != nil {
 			t.Fatal(err)
@@ -115,8 +116,8 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "table1",
 		"ablation-cachepenalty", "ablation-mingran", "ablation-msglatency",
-		"ablation-switchcost", "ext-cluster-dispatch", "ext-fullscale",
-		"ext-vmthreads", "table1i",
+		"ablation-switchcost", "ext-cluster-dispatch", "ext-diurnal",
+		"ext-fullscale", "ext-vmthreads", "table1i",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -42,6 +42,7 @@ var registry = map[string]Runner{
 	"ext-vmthreads":         ExtVMThreads,
 	"ext-cluster-dispatch":  ExtClusterDispatch,
 	"ext-fullscale":         ExtFullScale,
+	"ext-diurnal":           ExtDiurnal,
 }
 
 // IDs returns every experiment id in stable order: the paper's figures

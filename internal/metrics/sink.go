@@ -1,0 +1,168 @@
+// Record sinks: the streaming dataflow retires every finished invocation
+// through a Sink instead of holding it for an end-of-run Collect. Two
+// implementations ship — the exact in-memory Set (default scales, golden
+// digests) and the fixed-memory Accumulator (long-horizon runs) — so the
+// choice of memory/fidelity trade-off is orthogonal to how the simulation
+// is driven.
+
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/pricing"
+	"github.com/faassched/faassched/internal/stats"
+)
+
+// Sink consumes one Record per retired invocation, in completion order.
+// Implementations are not safe for concurrent use; cluster runs give each
+// server its own sink and merge afterwards.
+type Sink interface {
+	Push(Record)
+}
+
+// Push implements Sink for the exact in-memory set: records are retained
+// verbatim, so every Set-derived statistic (CDFs, exact quantiles, golden
+// digests) is available afterwards. Memory is O(records).
+func (s *Set) Push(r Record) { s.Records = append(s.Records, r) }
+
+// Accumulator histogram calibration: per-metric values in milliseconds on
+// log-spaced buckets from 1 µs to 24 h. 512 buckets over ~10.9 decades
+// puts adjacent edges ~5% apart, so interpolated quantiles carry at most
+// a few percent of relative error — while total memory stays a few KB no
+// matter how many records stream through.
+const (
+	accHistLoMs   = 1e-3
+	accHistHiMs   = 8.64e7
+	accHistBucket = 512
+)
+
+// Accumulator is the streaming Sink: fixed-bucket log-scale histograms
+// per metric plus running cost/preemption/execution totals. It answers
+// the same questions as a Set (quantiles, tariff joins, counts) in O(1)
+// memory, which is what makes multi-hour diurnal windows runnable at all.
+type Accumulator struct {
+	tariff pricing.Tariff
+
+	hists       [3]*stats.Histogram // indexed by Metric - 1
+	completed   int
+	failed      int
+	preemptions int
+	totalExec   time.Duration
+	billedMs    int64 // sum of per-invocation ceil-to-ms billed durations
+	cost        float64
+}
+
+// NewAccumulator returns an empty accumulator billing at tariff.
+func NewAccumulator(t pricing.Tariff) *Accumulator {
+	a := &Accumulator{tariff: t}
+	edges := stats.LogEdges(accHistLoMs, accHistHiMs, accHistBucket)
+	for i := range a.hists {
+		a.hists[i] = stats.NewHistogram(edges)
+	}
+	return a
+}
+
+// Push implements Sink.
+func (a *Accumulator) Push(r Record) {
+	a.preemptions += r.Preemptions
+	if r.Failed {
+		a.failed++
+		return
+	}
+	a.completed++
+	for _, m := range []Metric{Execution, Response, Turnaround} {
+		a.hists[m-1].Observe(valueMs(r, m))
+	}
+	exec := r.Execution()
+	a.totalExec += exec
+	a.billedMs += pricing.BilledMilliseconds(exec)
+	a.cost += a.tariff.InvocationCost(exec, r.MemMB)
+}
+
+// Completed returns the number of completed records seen.
+func (a *Accumulator) Completed() int { return a.completed }
+
+// FailedCount returns the number of failed records seen.
+func (a *Accumulator) FailedCount() int { return a.failed }
+
+// TotalPreemptions sums preemption counts across all records.
+func (a *Accumulator) TotalPreemptions() int { return a.preemptions }
+
+// TotalExecution sums execution time across completed records.
+func (a *Accumulator) TotalExecution() time.Duration { return a.totalExec }
+
+// Cost is the running tariff join: every completed record billed at its
+// own memory size, same semantics as Set.Cost.
+func (a *Accumulator) Cost() float64 { return a.cost }
+
+// CostAtUniformMemory rebills every completed record as if all functions
+// had memMB — Set.CostAtUniformMemory's streaming analog, computed from
+// the running billed-millisecond total.
+func (a *Accumulator) CostAtUniformMemory(memMB int) float64 {
+	return float64(a.billedMs)*a.tariff.PerMsUSD(memMB) +
+		float64(a.completed)*a.tariff.PerRequestUSD
+}
+
+// Quantile estimates metric m's q-th quantile in milliseconds (the unit
+// Set.CDF reports) from the log-bucket histogram.
+func (a *Accumulator) Quantile(m Metric, q float64) (float64, error) {
+	if m < Execution || m > Turnaround {
+		return 0, fmt.Errorf("metrics: bad metric %v", m)
+	}
+	return a.hists[m-1].Quantile(q)
+}
+
+// P99 returns the 99th percentile of metric m in seconds, mirroring
+// Set.P99.
+func (a *Accumulator) P99(m Metric) (float64, error) {
+	v, err := a.Quantile(m, 0.99)
+	if err != nil {
+		return 0, err
+	}
+	return v / 1000.0, nil
+}
+
+// Merge folds other into a. Counts and histograms merge exactly; the
+// float cost total is summed in call order, so fleets merge per-server
+// accumulators in server-index order to stay deterministic.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if other == nil {
+		return nil
+	}
+	for i := range a.hists {
+		if err := a.hists[i].Merge(other.hists[i]); err != nil {
+			return err
+		}
+	}
+	a.completed += other.completed
+	a.failed += other.failed
+	a.preemptions += other.preemptions
+	a.totalExec += other.totalExec
+	a.billedMs += other.billedMs
+	a.cost += other.cost
+	return nil
+}
+
+// Summary is the Set.Summary analog with approximate (histogram)
+// quantiles.
+func (a *Accumulator) Summary() string {
+	if a.completed == 0 {
+		return "no completed records"
+	}
+	q := func(m Metric, p float64) float64 {
+		v, err := a.Quantile(m, p)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	return fmt.Sprintf(
+		"n=%d failed=%d | exec p50~%.1fms p99~%.1fms | resp p50~%.1fms p99~%.1fms | turn p99~%.1fms",
+		a.completed, a.failed,
+		q(Execution, 0.5), q(Execution, 0.99),
+		q(Response, 0.5), q(Response, 0.99),
+		q(Turnaround, 0.99),
+	)
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/pricing"
+)
+
+// sinkRecords synthesizes a spread of completed + failed records.
+func sinkRecords(n int) []Record {
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		arrival := time.Duration(i) * time.Millisecond
+		first := arrival + time.Duration(1+i%7)*time.Millisecond
+		finish := first + time.Duration(2+(i*i)%900)*time.Millisecond
+		r := Record{
+			ID:          uint64(i + 1),
+			Arrival:     arrival,
+			FirstRun:    first,
+			Finish:      finish,
+			CPU:         finish - first,
+			Preemptions: i % 3,
+			MemMB:       []int{128, 256, 1024}[i%3],
+		}
+		if i%50 == 49 {
+			r = Record{ID: r.ID, Failed: true}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestAccumulatorMatchesSet: the streaming accumulator must reproduce the
+// exact Set's counts and tariff joins, and land histogram quantiles within
+// the documented bucket tolerance.
+func TestAccumulatorMatchesSet(t *testing.T) {
+	tariff := pricing.Default()
+	recs := sinkRecords(1000)
+
+	var set Set
+	acc := NewAccumulator(tariff)
+	for _, r := range recs {
+		set.Push(r)
+		acc.Push(r)
+	}
+
+	if acc.Completed() != len(set.Completed()) {
+		t.Errorf("completed %d != %d", acc.Completed(), len(set.Completed()))
+	}
+	if acc.FailedCount() != set.FailedCount() {
+		t.Errorf("failed %d != %d", acc.FailedCount(), set.FailedCount())
+	}
+	if acc.TotalPreemptions() != set.TotalPreemptions() {
+		t.Errorf("preemptions %d != %d", acc.TotalPreemptions(), set.TotalPreemptions())
+	}
+	if acc.TotalExecution() != set.TotalExecution() {
+		t.Errorf("total exec %v != %v", acc.TotalExecution(), set.TotalExecution())
+	}
+	if got, want := acc.Cost(), set.Cost(tariff); got != want {
+		t.Errorf("cost %v != %v (same push order must give identical float sums)", got, want)
+	}
+	if got, want := acc.CostAtUniformMemory(1024), set.CostAtUniformMemory(tariff, 1024); math.Abs(got-want) > want*1e-9 {
+		t.Errorf("uniform cost %v != %v", got, want)
+	}
+	for _, m := range []Metric{Execution, Response, Turnaround} {
+		c, err := set.CDF(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			got, err := acc.Quantile(m, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := c.Quantile(q)
+			if want > 0 && (got < want*0.85 || got > want*1.15) {
+				t.Errorf("%s q%.2f = %.3fms, want within 15%% of %.3fms", m, q, got, want)
+			}
+		}
+	}
+	sp99, err := set.P99(Execution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap99, err := acc.P99(Execution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap99 < sp99*0.85 || ap99 > sp99*1.15 {
+		t.Errorf("P99 seconds %v vs exact %v", ap99, sp99)
+	}
+	if acc.Summary() == "" || acc.Summary() == "no completed records" {
+		t.Error("summary empty")
+	}
+}
+
+// TestAccumulatorMerge: merging two halves must equal one pass over the
+// whole stream — the per-server fleet merge invariant.
+func TestAccumulatorMerge(t *testing.T) {
+	tariff := pricing.Default()
+	recs := sinkRecords(600)
+	whole := NewAccumulator(tariff)
+	for _, r := range recs {
+		whole.Push(r)
+	}
+	a, b := NewAccumulator(tariff), NewAccumulator(tariff)
+	for i, r := range recs {
+		if i < len(recs)/2 {
+			a.Push(r)
+		} else {
+			b.Push(r)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed() != whole.Completed() || a.FailedCount() != whole.FailedCount() ||
+		a.TotalPreemptions() != whole.TotalPreemptions() || a.TotalExecution() != whole.TotalExecution() {
+		t.Error("merged counters differ from single-pass")
+	}
+	if math.Abs(a.Cost()-whole.Cost()) > whole.Cost()*1e-12 {
+		t.Errorf("merged cost %v vs %v", a.Cost(), whole.Cost())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		ga, _ := a.Quantile(Turnaround, q)
+		gw, _ := whole.Quantile(Turnaround, q)
+		if ga != gw {
+			t.Errorf("merged quantile %v != single-pass %v (histogram merge is exact)", ga, gw)
+		}
+	}
+	if _, err := NewAccumulator(tariff).Quantile(Execution, 0.5); err == nil {
+		t.Error("empty accumulator quantile should error")
+	}
+	if _, err := whole.Quantile(Metric(9), 0.5); err == nil {
+		t.Error("bad metric accepted")
+	}
+}

@@ -43,18 +43,25 @@ func (t Tariff) PerMsUSD(memMB int) float64 {
 	return t.PerGBSecondUSD * gb / 1000.0
 }
 
-// ComputeCost returns the compute-only cost of a billed duration at the
-// given memory size. AWS bills wall-clock duration rounded up to the next
-// millisecond.
-func (t Tariff) ComputeCost(billed time.Duration, memMB int) float64 {
-	if billed <= 0 {
+// BilledMilliseconds applies the AWS rounding rule — wall-clock duration
+// rounded up to the next millisecond — and is the single home of that
+// rule: the per-record tariff join and the streaming accumulator's
+// running billed-ms total both use it, so they cannot drift apart.
+func BilledMilliseconds(d time.Duration) int64 {
+	if d <= 0 {
 		return 0
 	}
-	ms := float64(billed.Milliseconds())
-	if billed%time.Millisecond != 0 {
+	ms := d.Milliseconds()
+	if d%time.Millisecond != 0 {
 		ms++
 	}
-	return ms * t.PerMsUSD(memMB)
+	return ms
+}
+
+// ComputeCost returns the compute-only cost of a billed duration at the
+// given memory size.
+func (t Tariff) ComputeCost(billed time.Duration, memMB int) float64 {
+	return float64(BilledMilliseconds(billed)) * t.PerMsUSD(memMB)
 }
 
 // InvocationCost is ComputeCost plus the per-request charge.

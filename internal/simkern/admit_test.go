@@ -1,0 +1,161 @@
+package simkern
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAdmitOrdersBeforeSameInstantRunEvents is the core lazy-admission
+// ordering guarantee: an arrival admitted mid-run at time T must fire
+// before a timer already pending at T, exactly as if the task had been
+// seeded before the clock started (pre-seeded arrivals hold the smallest
+// sequence numbers, so they win that tie in a materialized run).
+func TestAdmitOrdersBeforeSameInstantRunEvents(t *testing.T) {
+	const at = 10 * time.Millisecond
+	var order []string
+
+	k, d := newTestKernel(t, Config{Cores: 1})
+	orig := d.k.handler
+	k.SetHandler(handlerHook{inner: orig, onArrive: func(*Task) { order = append(order, "arrival") }})
+
+	// Timer at T scheduled first: under plain (time, seq) it would win.
+	k.SetTimer(at, func() { order = append(order, "timer") })
+	// Admission timer strictly before T injects the task.
+	k.SetTimer(5*time.Millisecond, func() {
+		if err := k.AdmitTask(&Task{ID: 1, Arrival: at, Work: time.Millisecond}); err != nil {
+			t.Errorf("AdmitTask: %v", err)
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "arrival" || order[1] != "timer" {
+		t.Fatalf("order = %v, want [arrival timer]", order)
+	}
+}
+
+// handlerHook lets a test observe arrivals while delegating scheduling.
+type handlerHook struct {
+	inner    Handler
+	onArrive func(*Task)
+}
+
+func (h handlerHook) OnTaskArrived(t *Task) {
+	if h.onArrive != nil {
+		h.onArrive(t)
+	}
+	h.inner.OnTaskArrived(t)
+}
+
+func (h handlerHook) OnTaskFinished(t *Task, c CoreID) { h.inner.OnTaskFinished(t, c) }
+
+func TestAdmitRejectsPastArrival(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1})
+	if err := k.AddTask(&Task{ID: 1, Arrival: 0, Work: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AdmitTask(&Task{ID: 2, Arrival: 0, Work: time.Millisecond}); err == nil {
+		t.Fatal("AdmitTask accepted an arrival in the past")
+	}
+}
+
+// TestDiscardTasksCountsWithoutTable: the discard-mode kernel must track
+// Outstanding through counters while retaining no task references.
+func TestDiscardTasksCountsWithoutTable(t *testing.T) {
+	k, d := newTestKernel(t, Config{Cores: 1, DiscardTasks: true})
+	for i := 1; i <= 3; i++ {
+		task := &Task{ID: TaskID(i), Arrival: time.Duration(i) * time.Millisecond, Work: time.Millisecond}
+		if err := k.AdmitTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Tasks() != nil {
+		t.Error("DiscardTasks kernel retained a task table")
+	}
+	if got := k.Outstanding(); got != 3 {
+		t.Fatalf("Outstanding = %d, want 3", got)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding after drain = %d, want 0", got)
+	}
+	if len(d.finished) != 3 {
+		t.Fatalf("finished = %d, want 3", len(d.finished))
+	}
+}
+
+// TestAbortCancelsPendingArrival: aborting a never-arrived task must
+// cancel its arrival event, so a recycled-and-readmitted struct cannot
+// receive a stale early arrival from its previous life.
+func TestAbortCancelsPendingArrival(t *testing.T) {
+	k, d := newTestKernel(t, Config{Cores: 1, DiscardTasks: true})
+	task := &Task{ID: 1, Arrival: 50 * time.Millisecond, Work: time.Millisecond}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AbortTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.loop.activeLen(); got != 0 {
+		t.Fatalf("aborted task left %d events pending", got)
+	}
+	if !task.Recycle() {
+		t.Fatal("Recycle refused an aborted task")
+	}
+	// Reuse the struct for a later invocation: only the new arrival fires.
+	task.ID = 2
+	task.Arrival = 100 * time.Millisecond
+	task.Work = time.Millisecond
+	if err := k.AdmitTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.FirstRun() != 100*time.Millisecond {
+		t.Fatalf("recycled task first ran at %v, want 100ms", task.FirstRun())
+	}
+	if len(d.finished) != 1 {
+		t.Fatalf("finished %d tasks, want 1", len(d.finished))
+	}
+}
+
+// TestRecycleRoundTrip: a finished task resets to the zero value and can
+// carry a fresh invocation through the kernel again; live tasks refuse.
+func TestRecycleRoundTrip(t *testing.T) {
+	k, _ := newTestKernel(t, Config{Cores: 1, DiscardTasks: true})
+	task := &Task{ID: 1, Label: "a", Arrival: 0, Work: time.Millisecond, PolicyData: "stale"}
+	if err := k.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if task.Recycle() {
+		t.Fatal("Recycle succeeded on a pending task")
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	firstFinish := task.Finish()
+	if !task.Recycle() {
+		t.Fatal("Recycle refused a finished task")
+	}
+	if task.PolicyData != nil || task.State() != 0 || task.Label != "" {
+		t.Fatalf("Recycle left state behind: %+v", task)
+	}
+	task.ID = 2
+	task.Arrival = k.Now() + time.Millisecond
+	task.Work = 2 * time.Millisecond
+	if err := k.AdmitTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if task.State() != StateFinished || task.Finish() <= firstFinish {
+		t.Fatalf("recycled task did not complete a second run: state=%v finish=%v", task.State(), task.Finish())
+	}
+}

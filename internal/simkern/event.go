@@ -20,14 +20,31 @@ const (
 	evSample               // per-core utilization sampler period
 )
 
+// Event ordering classes. In a fully materialized run every arrival event
+// is scheduled before the clock starts, so arrivals hold the globally
+// smallest sequence numbers and win every same-instant tie against events
+// scheduled later at run time. Lazy admission (Kernel.AdmitTask) schedules
+// arrivals mid-run, which would hand them large sequence numbers and flip
+// those ties — so admitted arrivals carry classAdmit, which orders before
+// classRun at the same instant regardless of seq. Everything scheduled
+// through the pre-existing paths keeps classRun, where (time, seq) alone
+// decides — identical to the ordering before classes existed, which is why
+// the committed golden digests stay valid.
+const (
+	classAdmit uint8 = iota // lazily admitted arrivals: order as if pre-seeded
+	classRun                // all other events: plain (time, seq)
+)
+
 // event is one scheduled occurrence in the simulation. Events are ordered
-// by (time, sequence) so ties resolve in scheduling order, making runs
-// deterministic. Payload fields are a union discriminated by kind.
+// by (time, class, sequence) so ties resolve in scheduling order — see the
+// class constants above — making runs deterministic. Payload fields are a
+// union discriminated by kind.
 type event struct {
-	at   time.Duration
-	seq  uint64
-	kind eventKind
-	hidx int // heap slot maintained by queue.IndexedHeap; NoHeapIndex when out
+	at    time.Duration
+	seq   uint64
+	kind  eventKind
+	class uint8
+	hidx  int // heap slot maintained by queue.IndexedHeap; NoHeapIndex when out
 
 	task *Task   // evArrival, evCompletion
 	fn   func()  // evTimer
@@ -40,6 +57,9 @@ func (e *event) SetHeapIndex(i int) { e.hidx = i }
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
 	}
 	return a.seq < b.seq
 }
@@ -62,11 +82,17 @@ func newEventLoop() *eventLoop {
 	return &eventLoop{heap: queue.NewIndexedHeap[*event](eventLess)}
 }
 
-// schedule enqueues a blank event of the given kind at time at and returns
-// it for payload assignment and cancellation. The sequence counter
-// advances exactly once per call, preserving the (time, seq) tie-break
-// order of the closure-based core this replaces.
+// schedule enqueues a blank classRun event of the given kind at time at
+// and returns it for payload assignment and cancellation. The sequence
+// counter advances exactly once per call, preserving the (time, seq)
+// tie-break order of the closure-based core this replaces.
 func (l *eventLoop) schedule(at time.Duration, kind eventKind) *event {
+	return l.scheduleClass(at, kind, classRun)
+}
+
+// scheduleClass is schedule with an explicit ordering class; the lazy
+// admission path uses it to file arrivals under classAdmit.
+func (l *eventLoop) scheduleClass(at time.Duration, kind eventKind, class uint8) *event {
 	l.seq++
 	var ev *event
 	if n := len(l.free); n > 0 {
@@ -79,6 +105,7 @@ func (l *eventLoop) schedule(at time.Duration, kind eventKind) *event {
 	ev.at = at
 	ev.seq = l.seq
 	ev.kind = kind
+	ev.class = class
 	l.heap.Push(ev)
 	return ev
 }
@@ -95,6 +122,7 @@ func (l *eventLoop) cancel(ev *event) {
 // release clears payload references and returns ev to the free list.
 func (l *eventLoop) release(ev *event) {
 	ev.kind = evNone
+	ev.class = classRun
 	ev.task = nil
 	ev.fn = nil
 	ev.id = 0

@@ -39,6 +39,14 @@ type Config struct {
 	// RecordUtil keeps the full per-core utilization history (needed by
 	// the utilization-over-time figures). Requires SampleEvery > 0.
 	RecordUtil bool
+	// DiscardTasks stops the kernel from retaining the task table: Tasks()
+	// returns nil and finished tasks hold no kernel reference, so callers
+	// may recycle them (Task.Recycle) once the scheduling layer has seen
+	// their TASK_DEAD message. The streaming dataflow uses this to keep
+	// memory proportional to active tasks instead of total invocations;
+	// metrics must then be gathered through a completion sink rather than
+	// metrics.Collect.
+	DiscardTasks bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -92,7 +100,8 @@ type Kernel struct {
 	handler Handler
 	interf  Interference
 
-	tasks       []*Task
+	tasks       []*Task // nil when cfg.DiscardTasks
+	added       int
 	finished    int
 	makespan    time.Duration
 	timers      map[TimerID]*event
@@ -150,10 +159,11 @@ func (k *Kernel) Now() time.Duration { return k.now }
 func (k *Kernel) CoreCount() int { return len(k.cores) }
 
 // Outstanding returns the number of added tasks that have not finished.
-func (k *Kernel) Outstanding() int { return len(k.tasks) - k.finished }
+func (k *Kernel) Outstanding() int { return k.added - k.finished }
 
-// Tasks returns all tasks ever added, in addition order. Callers must not
-// mutate kernel-owned fields.
+// Tasks returns all tasks ever added, in addition order — or nil when the
+// kernel was built with DiscardTasks. Callers must not mutate kernel-owned
+// fields.
 func (k *Kernel) Tasks() []*Task { return k.tasks }
 
 // Makespan returns the completion time of the last finished task so far.
@@ -161,23 +171,46 @@ func (k *Kernel) Makespan() time.Duration { return k.makespan }
 
 // AddTask registers a task. Arrival times in the past are clamped to now
 // (used by the Firecracker layer, which spawns threads mid-run). The task's
-// runtime fields must be zero: a Task may be added to exactly one kernel.
+// runtime fields must be zero: a Task may be added to exactly one kernel
+// (or re-added after Task.Recycle).
 func (k *Kernel) AddTask(t *Task) error {
+	if t != nil && t.state == 0 && t.Arrival < k.now {
+		t.Arrival = k.now
+	}
+	return k.addTask(t, classRun)
+}
+
+// AdmitTask registers a task through the lazy-admission path: the arrival
+// event is filed under the admit ordering class, so it fires before any
+// same-instant run-time event — exactly as if the task had been added
+// before the clock started. Unlike AddTask, past arrivals are rejected
+// rather than clamped: an admitter that falls behind simulated time cannot
+// be order-equivalent to pre-seeding, so that is a bug at the call site.
+func (k *Kernel) AdmitTask(t *Task) error {
+	if t != nil && t.Arrival < k.now {
+		return fmt.Errorf("%w: admission at %v after arrival %v", ErrBadTask, k.now, t.Arrival)
+	}
+	return k.addTask(t, classAdmit)
+}
+
+func (k *Kernel) addTask(t *Task, class uint8) error {
 	if t == nil || t.Work <= 0 {
 		return fmt.Errorf("%w: nil or non-positive work", ErrBadTask)
 	}
 	if t.state != 0 {
 		return fmt.Errorf("%w: task already added (state %v)", ErrBadTask, t.state)
 	}
-	if t.Arrival < k.now {
-		t.Arrival = k.now
-	}
 	t.state = StateNew
 	t.core = NoCore
 	t.firstRun = NoTime
 	t.finish = NoTime
-	k.tasks = append(k.tasks, t)
-	k.loop.schedule(t.Arrival, evArrival).task = t
+	k.added++
+	if !k.cfg.DiscardTasks {
+		k.tasks = append(k.tasks, t)
+	}
+	ev := k.loop.scheduleClass(t.Arrival, evArrival, class)
+	ev.task = t
+	t.arrival = ev
 	return nil
 }
 
@@ -218,6 +251,7 @@ func (k *Kernel) dispatch(ev *event) {
 	k.loop.release(ev)
 	switch kind {
 	case evArrival:
+		task.arrival = nil
 		if task.state != StateNew {
 			return // aborted before arrival
 		}
@@ -323,12 +357,18 @@ func (k *Kernel) complete(cr *core, t *Task) {
 // the handler: the task leaves the outstanding count but produces no
 // TASK_DEAD message, mirroring an admission failure rather than a
 // completion. The Firecracker layer uses it for microVM launch failures.
+// A still-pending arrival event is cancelled, so an aborted task holds no
+// kernel reference and satisfies Task.Recycle's contract.
 func (k *Kernel) AbortTask(t *Task) error {
 	if t == nil {
 		return ErrBadTask
 	}
 	if t.state != StateRunnable && t.state != StateNew {
 		return fmt.Errorf("%w: cannot abort task %d in state %v", ErrBadTask, t.ID, t.state)
+	}
+	if t.arrival != nil {
+		k.loop.cancel(t.arrival)
+		t.arrival = nil
 	}
 	t.state = StateFailed
 	k.finished++

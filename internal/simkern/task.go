@@ -123,6 +123,7 @@ type Task struct {
 	segStart      time.Duration // when CPU progress of this segment begins (post switch)
 	remainingAtGo time.Duration // remaining work at dispatch
 	completion    *event        // pending completion event
+	arrival       *event        // pending arrival event (nil once fired or cancelled)
 }
 
 // NoTime is the sentinel for "not yet happened".
@@ -165,3 +166,19 @@ func (t *Task) Preemptions() int { return t.preemptions }
 // SegmentStart returns when the current on-CPU segment began consuming CPU
 // (i.e. after the context-switch window). Valid only while Running.
 func (t *Task) SegmentStart() time.Duration { return t.segStart }
+
+// Recycle resets the task to the zero value so the struct can carry a new
+// invocation through a later AddTask/AdmitTask. It reports whether the
+// reset happened: only finished or failed tasks may be recycled, and the
+// caller asserts that nothing else still references the task — in
+// particular that the scheduling policy has already processed the task's
+// TASK_DEAD message (policies drop their references there). PolicyData is
+// cleared so a reused struct cannot leak one task's scheduler bookkeeping
+// into the next.
+func (t *Task) Recycle() bool {
+	if t.state != StateFinished && t.state != StateFailed {
+		return false
+	}
+	*t = Task{}
+	return true
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -48,16 +49,13 @@ func LogEdges(lo, hi float64, n int) []float64 {
 	return edges
 }
 
-// Observe adds one value.
+// Observe adds one value. Bucket lookup is a binary search over the
+// sorted edges: Observe sits on the streaming accumulators' per-record
+// hot path, where a linear scan of hundreds of log-spaced edges would
+// dominate the sink's cost.
 func (h *Histogram) Observe(v float64) {
 	h.total++
-	for i, e := range h.edges {
-		if v <= e {
-			h.counts[i]++
-			return
-		}
-	}
-	h.counts[len(h.counts)-1]++
+	h.counts[sort.SearchFloat64s(h.edges, v)]++
 }
 
 // Total returns the number of observations.
@@ -69,6 +67,68 @@ func (h *Histogram) Counts() []int64 {
 	out := make([]int64, len(h.counts))
 	copy(out, h.counts)
 	return out
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) from the bucket
+// counts: it finds the bucket holding the target rank and interpolates
+// geometrically between the bucket's bounds, which is exact for the
+// log-spaced edges the streaming accumulators use (error bounded by one
+// bucket's width ratio). Values in the underflow bucket report the first
+// edge and values in the overflow bucket the last edge — the histogram
+// cannot know tighter bounds there. Returns ErrNoSamples when empty.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.total == 0 {
+		return 0, ErrNoSamples
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i == 0 {
+				return h.edges[0], nil
+			}
+			if i == len(h.counts)-1 {
+				return h.edges[len(h.edges)-1], nil
+			}
+			lo, hi := h.edges[i-1], h.edges[i]
+			frac := (target - cum) / float64(c)
+			if lo <= 0 {
+				return lo + (hi-lo)*frac, nil
+			}
+			return lo * math.Pow(hi/lo, frac), nil
+		}
+		cum = next
+	}
+	return h.edges[len(h.edges)-1], nil
+}
+
+// Merge adds other's counts into h. The two histograms must share the
+// same edges; merging is exact and commutative (integer addition), which
+// is what gives per-server streaming sinks deterministic fleet merges.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.edges) != len(other.edges) {
+		return fmt.Errorf("stats: merging histograms with %d vs %d edges", len(h.edges), len(other.edges))
+	}
+	for i, e := range h.edges {
+		if e != other.edges[i] {
+			return fmt.Errorf("stats: merging histograms with different edges at %d", i)
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	return nil
 }
 
 // CumulativeAt returns the fraction of observations <= the i-th edge.

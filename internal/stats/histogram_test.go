@@ -81,3 +81,69 @@ func TestHistogramEmptyCumulative(t *testing.T) {
 		t.Error("empty histogram cumulative should be 0")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LogEdges(0.001, 1e6, 256))
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Fatal("empty histogram quantile should error")
+	}
+	// 10k lognormal-ish spread values: quantile estimates must land within
+	// one bucket ratio (~8.5% here) of the exact order statistics.
+	vals := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, 0.5+float64(i)*float64(i)*0.001)
+	}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	exact := func(q float64) float64 { return vals[int(q*float64(len(vals)-1))] }
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact(q)
+		if got < want*0.90 || got > want*1.10 {
+			t.Errorf("Quantile(%v) = %v, want within 10%% of %v", q, got, want)
+		}
+	}
+	// Clamping and extremes stay inside the observed support.
+	if v, _ := h.Quantile(-1); v > exact(0.01) {
+		t.Errorf("Quantile(-1) = %v beyond low support", v)
+	}
+	if v, _ := h.Quantile(2); v < exact(0.99) {
+		t.Errorf("Quantile(2) = %v below high support", v)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	edges := LogEdges(1, 1000, 16)
+	a, b := NewHistogram(edges), NewHistogram(edges)
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i * 10))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 200 {
+		t.Fatalf("merged total = %d, want 200", a.Total())
+	}
+	whole := NewHistogram(edges)
+	for i := 1; i <= 100; i++ {
+		whole.Observe(float64(i))
+		whole.Observe(float64(i * 10))
+	}
+	ac, wc := a.Counts(), whole.Counts()
+	for i := range ac {
+		if ac[i] != wc[i] {
+			t.Fatalf("merged bucket %d = %d, want %d", i, ac[i], wc[i])
+		}
+	}
+	if err := a.Merge(NewHistogram(LogEdges(1, 1000, 8))); err == nil {
+		t.Fatal("merge with different edges accepted")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge errored: %v", err)
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -71,83 +70,17 @@ type bucketKey struct {
 }
 
 // Build derives the invocation list for trace minutes
-// [startMinute, startMinute+minutes).
+// [startMinute, startMinute+minutes). It is the materialized adapter over
+// Stream: identical validation, identical output sequence.
 func (b Builder) Build(tr *trace.Trace, startMinute, minutes int) ([]Invocation, error) {
-	b = b.withDefaults()
-	if err := b.Model.Validate(); err != nil {
+	src, err := b.Stream(tr, startMinute, minutes)
+	if err != nil {
 		return nil, err
 	}
-	if b.Downscale < 1 {
-		return nil, fmt.Errorf("workload: Downscale must be >= 1, got %d", b.Downscale)
-	}
-	if startMinute < 0 || minutes < 1 || startMinute+minutes > tr.Minutes {
-		return nil, fmt.Errorf("workload: minute range [%d, %d) outside trace of %d minutes",
-			startMinute, startMinute+minutes, tr.Minutes)
-	}
-
-	// Clean + bucket + merge (§V-B "Extracting Traces").
-	merged := make(map[bucketKey][]int)
-	for _, row := range tr.CleanRows() {
-		key := bucketKey{fibN: b.Model.NearestN(row.AvgDuration), memMB: row.MemMB}
-		counts, ok := merged[key]
-		if !ok {
-			counts = make([]int, minutes)
-			merged[key] = counts
-		}
-		for m := 0; m < minutes; m++ {
-			counts[m] += row.Counts[startMinute+m]
-		}
-	}
-
-	// Deterministic iteration order over buckets.
-	keys := make([]bucketKey, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].fibN != keys[j].fibN {
-			return keys[i].fibN < keys[j].fibN
-		}
-		return keys[i].memMB < keys[j].memMB
-	})
-
-	// Downscale + evenly spaced arrivals per minute (§V-B "Workload
-	// Generation").
-	var out []Invocation
-	for _, key := range keys {
-		duration := b.Model.Duration(key.fibN)
-		for m, count := range merged[key] {
-			k := count / b.Downscale
-			if k <= 0 {
-				continue
-			}
-			iat := time.Minute / time.Duration(k)
-			base := time.Duration(m) * time.Minute
-			for i := 0; i < k; i++ {
-				out = append(out, Invocation{
-					Arrival:  base + time.Duration(i)*iat,
-					FibN:     key.fibN,
-					Duration: duration,
-					MemMB:    key.memMB,
-				})
-			}
-		}
-	}
+	out := Materialize(src)
 	if len(out) == 0 {
 		return nil, errors.New("workload: trace window yields no invocations after downscaling")
 	}
-	// "After sorting the invocations of all functions within that minute,
-	// the time difference between adjacent invocations is the inter-arrival
-	// time."
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Arrival != out[j].Arrival {
-			return out[i].Arrival < out[j].Arrival
-		}
-		if out[i].FibN != out[j].FibN {
-			return out[i].FibN < out[j].FibN
-		}
-		return out[i].MemMB < out[j].MemMB
-	})
 	return out, nil
 }
 

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_baseline.json}"
 
 MICRO='BenchmarkKernelDispatch$|BenchmarkCFSSimulation$|BenchmarkWorkloadBuild$|BenchmarkFacadeSimulate'
-FIGS='BenchmarkFig06Hybrid$|BenchmarkTable1Summary$|BenchmarkFig13Preemptions$'
+FIGS='BenchmarkFig06Hybrid$|BenchmarkTable1Summary$|BenchmarkFig13Preemptions$|BenchmarkStreamedFullscale'
 
 {
   go test -run '^$' -bench "$MICRO" -benchmem .
