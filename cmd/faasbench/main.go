@@ -33,7 +33,10 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		experiment = fs.String("experiment", "all", "comma-separated experiment ids, or 'all' (see -list)")
 		scaleFlag  = fs.String("scale", "quick", "experiment scale: quick|full|fullscale (fullscale = no ×100 trace downscaling, ~1.2M invocations)")
-		minutes    = fs.Int("minutes", 0, "override the ext-diurnal horizon in trace minutes, up to 1440 (0 = scale default)")
+		minutes    = fs.Int("minutes", 0, "override the ext-diurnal/ext-autoscale horizon in trace minutes, up to 1440 (0 = scale default)")
+		asMin      = fs.Int("as-min", 0, "override the ext-autoscale fleet floor (0 = scale default)")
+		asMax      = fs.Int("as-max", 0, "override the ext-autoscale fleet cap (0 = scale default)")
+		asSpinUp   = fs.Duration("as-spinup", 0, "override the ext-autoscale server spin-up latency (0 = default 30s)")
 		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")
@@ -58,6 +61,18 @@ func run(args []string, stdout io.Writer) error {
 	if *minutes < 0 || *minutes > 1440 {
 		return fmt.Errorf("-minutes %d out of [0, 1440]", *minutes)
 	}
+	if *asMin < 0 {
+		return fmt.Errorf("-as-min %d must be >= 0 (0 = scale default)", *asMin)
+	}
+	if *asMax < 0 {
+		return fmt.Errorf("-as-max %d must be >= 0 (0 = scale default)", *asMax)
+	}
+	if *asMin > 0 && *asMax > 0 && *asMin > *asMax {
+		return fmt.Errorf("-as-min %d exceeds -as-max %d", *asMin, *asMax)
+	}
+	if *asSpinUp < 0 {
+		return fmt.Errorf("-as-spinup %v must be >= 0 (0 = default)", *asSpinUp)
+	}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
@@ -76,6 +91,9 @@ func run(args []string, stdout io.Writer) error {
 
 	env := experiments.NewEnv(scale)
 	env.DiurnalMinutes = *minutes
+	env.AutoscaleMin = *asMin
+	env.AutoscaleMax = *asMax
+	env.AutoscaleSpinUp = *asSpinUp
 	fmt.Fprintf(stdout, "# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
 	for _, id := range ids {
 		start := time.Now()

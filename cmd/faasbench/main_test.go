@@ -28,6 +28,10 @@ func TestArgumentErrors(t *testing.T) {
 		{"positional args", []string{"fig1"}},
 		{"bad minutes", []string{"-minutes", "-5"}},
 		{"huge minutes", []string{"-minutes", "2000"}},
+		{"negative as-min", []string{"-as-min", "-1"}},
+		{"negative as-max", []string{"-as-max", "-2"}},
+		{"as-min above as-max", []string{"-as-min", "8", "-as-max", "2"}},
+		{"negative spin-up", []string{"-as-spinup", "-10s"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,6 +87,46 @@ func TestDiurnalMinutesKnob(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ext-diurnal done") {
 		t.Errorf("output missing completion marker: %q", out.String())
+	}
+}
+
+// TestAutoscaleFlagsRejectedUpfront: invalid autoscale bounds must fail
+// before any experiment runs, with an error naming both values.
+func TestAutoscaleFlagsRejectedUpfront(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-experiment", "ext-autoscale", "-as-min", "6", "-as-max", "3"}, &out)
+	if err == nil {
+		t.Fatal("-as-min > -as-max accepted")
+	}
+	if !strings.Contains(err.Error(), "6") || !strings.Contains(err.Error(), "3") {
+		t.Errorf("error does not name both bounds: %v", err)
+	}
+	if out.String() != "" {
+		t.Errorf("output produced before validation failed: %q", out.String())
+	}
+}
+
+// TestAutoscaleExperimentCLI runs the elastic fleet experiment on a tiny
+// horizon end to end through the CLI and checks the fleet timeline and
+// per-window rows reach the output.
+func TestAutoscaleExperimentCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out strings.Builder
+	args := []string{"-experiment", "ext-autoscale", "-scale", "quick",
+		"-minutes", "5", "-as-min", "1", "-as-max", "3", "-as-spinup", "20s"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ext-autoscale done") {
+		t.Errorf("output missing completion marker: %q", text)
+	}
+	for _, want := range []string{"server_s", "infra_usd", "fleet", "w0", "all", "queue-depth", "fixed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/faassched/faassched/internal/autoscale"
 	"github.com/faassched/faassched/internal/cluster"
 	"github.com/faassched/faassched/internal/core"
 	"github.com/faassched/faassched/internal/fib"
@@ -612,4 +613,257 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		PerServer:      cres.PerServer,
 		Assignment:     cres.Assignment,
 	}, nil
+}
+
+// ScalePolicy re-exports the fleet scaling policy selector.
+type ScalePolicy = autoscale.ScalePolicy
+
+// Available scaling policies.
+const (
+	ScaleTargetUtilization = autoscale.PolicyTargetUtilization
+	ScaleQueueDepth        = autoscale.PolicyQueueDepth
+)
+
+// ScalePolicies lists every selectable scaling policy.
+func ScalePolicies() []ScalePolicy { return autoscale.Policies() }
+
+// FleetEvent re-exports one entry of the autoscaler's fleet-size timeline.
+type FleetEvent = autoscale.Event
+
+// FleetServer re-exports one server's lifecycle in an autoscaled run.
+type FleetServer = autoscale.Server
+
+// AutoscaleOptions configures an elastic fleet simulation: the fleet
+// starts at MinServers, grows toward MaxServers when the scaling signal
+// crosses its up threshold (each new server becoming routable only after
+// SpinUp), and drains back down when load subsides — finishing every
+// in-flight invocation before a server retires.
+type AutoscaleOptions struct {
+	// MinServers is the provisioned floor, ready at time zero. Zero means 1.
+	MinServers int
+	// MaxServers caps the fleet. Zero means 4.
+	MaxServers int
+	// CoresPerServer is each server's enclave size. Zero means 8.
+	CoresPerServer int
+	// Dispatch routes arrivals among ready, non-draining servers. Empty
+	// means DispatchLeastLoaded.
+	Dispatch Dispatch
+	// Scheduler is the per-server policy. Empty means SchedulerHybrid.
+	Scheduler Scheduler
+	// Seed drives the randomized dispatch policies. Zero means 1.
+	Seed int64
+	// FIFOCores / TimeLimit override the hybrid's per-server knobs.
+	FIFOCores int
+	TimeLimit time.Duration
+	// ScalePolicy picks the scaling signal. Empty means
+	// ScaleTargetUtilization.
+	ScalePolicy ScalePolicy
+	// SpinUp is the server provisioning latency. Zero means the default
+	// (30 s).
+	SpinUp time.Duration
+	// MetricsWindow is the width of the per-window sub-accumulators in
+	// SimulateAutoscaled's result. Zero means one hour.
+	MetricsWindow time.Duration
+}
+
+// autoscaleConfig resolves opts into the internal autoscaler config.
+func autoscaleConfig(opts AutoscaleOptions) (AutoscaleOptions, autoscale.Config, error) {
+	if opts.MinServers == 0 {
+		opts.MinServers = 1
+	}
+	if opts.MaxServers == 0 {
+		opts.MaxServers = 4
+	}
+	if opts.CoresPerServer == 0 {
+		opts.CoresPerServer = 8
+	}
+	if opts.CoresPerServer < 2 {
+		return opts, autoscale.Config{}, fmt.Errorf("faassched: need at least 2 cores per server, got %d", opts.CoresPerServer)
+	}
+	if opts.Scheduler == "" {
+		opts.Scheduler = SchedulerHybrid
+	}
+	serverOpts := Options{
+		Cores:     opts.CoresPerServer,
+		Scheduler: opts.Scheduler,
+		FIFOCores: opts.FIFOCores,
+		TimeLimit: opts.TimeLimit,
+	}
+	// Validate the per-server configuration once, up front.
+	if _, err := newPolicy(serverOpts); err != nil {
+		return opts, autoscale.Config{}, err
+	}
+	return opts, autoscale.Config{
+		Min:      opts.MinServers,
+		Max:      opts.MaxServers,
+		Policy:   opts.ScalePolicy,
+		SpinUp:   opts.SpinUp,
+		Dispatch: opts.Dispatch,
+		Seed:     opts.Seed,
+		Kernel:   simkern.DefaultConfig(opts.CoresPerServer),
+		Sched: func() ghost.Policy {
+			p, err := newPolicy(serverOpts)
+			if err != nil {
+				return nil // unreachable: serverOpts validated above
+			}
+			return p
+		},
+	}, nil
+}
+
+// AutoscaleStats is a finished elastic fleet simulation: whole-run and
+// per-window fixed-memory statistics, the fleet-size timeline, and the
+// infrastructure ledger (billed server-seconds) alongside the paper's
+// per-invocation execution cost.
+type AutoscaleStats struct {
+	// Scheduler / Dispatch / ScalePolicy identify the run.
+	Scheduler   Scheduler
+	Dispatch    Dispatch
+	ScalePolicy ScalePolicy
+	// Completed and Failed count retired invocations (their sum is every
+	// routed invocation — drain-before-retire drops nothing).
+	Completed int
+	Failed    int
+	// Preemptions is the fleet-wide task preemption count.
+	Preemptions int
+	// Makespan is the fleet-wide last completion time.
+	Makespan time.Duration
+	// CostUSD bills every completed invocation at its own memory size —
+	// the paper's execution cost.
+	CostUSD float64
+	// ServerSeconds is the summed billed uptime across all servers;
+	// InfraCostUSD prices it under the default server tariff.
+	ServerSeconds float64
+	InfraCostUSD  float64
+	// PeakServers is the maximum billed fleet size; Launched and Drained
+	// count scale events over the run.
+	PeakServers int
+	Launched    int
+	Drained     int
+	// Events is the fleet-size timeline; Servers the per-server
+	// lifecycles.
+	Events  []FleetEvent
+	Servers []FleetServer
+
+	acc *metrics.WindowedAccumulator
+	res *autoscale.Result
+}
+
+// MeanServers is the time-averaged billed fleet size.
+func (s *AutoscaleStats) MeanServers() float64 { return s.res.MeanServers() }
+
+// WindowWidth returns the per-window sub-accumulator width.
+func (s *AutoscaleStats) WindowWidth() time.Duration { return s.acc.Width() }
+
+// WindowCount returns how many completion windows the run spans.
+func (s *AutoscaleStats) WindowCount() int { return s.acc.Windows() }
+
+// Window returns window i's fixed-memory statistics (completions whose
+// finish instant fell in [i·width, (i+1)·width)).
+func (s *AutoscaleStats) Window(i int) *metrics.Accumulator { return s.acc.Window(i) }
+
+// Total returns the whole-run roll-up accumulator.
+func (s *AutoscaleStats) Total() *metrics.Accumulator { return s.acc.Total() }
+
+// ServerSecondsIn sums billed server uptime overlapping [from, to).
+func (s *AutoscaleStats) ServerSecondsIn(from, to time.Duration) float64 {
+	return s.res.ServerSecondsIn(from, to)
+}
+
+// Timeline renders the fleet-size trajectory compactly (maxSteps caps the
+// rendered launch/retire steps; 0 means no cap).
+func (s *AutoscaleStats) Timeline(maxSteps int) string { return s.res.Timeline(maxSteps) }
+
+// Summary returns a one-line digest.
+func (s *AutoscaleStats) Summary() string {
+	return fmt.Sprintf("%s/%s/%s: %s | fleet peak=%d mean=%.2f server_s=%.0f | exec=$%.6f infra=$%.6f",
+		s.Scheduler, s.Dispatch, s.ScalePolicy, s.acc.Total().Summary(),
+		s.PeakServers, s.MeanServers(), s.ServerSeconds, s.CostUSD, s.InfraCostUSD)
+}
+
+// SimulateAutoscaled runs src through the elastic fleet with fixed-memory
+// windowed sinks: peak memory is O(active tasks + look-ahead window +
+// windows) no matter how long the workload runs, which is what lets the
+// diurnal horizon be sized by an elastic fleet at all. Per-server sinks
+// merge in server-index order, so results are deterministic for given
+// inputs regardless of goroutine interleaving.
+func SimulateAutoscaled(opts AutoscaleOptions, src Source) (*AutoscaleStats, error) {
+	opts, cfg, err := autoscaleConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	width := opts.MetricsWindow
+	if width == 0 {
+		width = time.Hour
+	}
+	merged, res, err := autoscale.RunWindowed(cfg, workload.Source(src), pricing.Default(), width)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoscaleStats{
+		Scheduler:     opts.Scheduler,
+		Dispatch:      res.Dispatch,
+		ScalePolicy:   res.Policy,
+		Completed:     res.Completed,
+		Failed:        res.Failed,
+		Preemptions:   res.Preemptions,
+		Makespan:      res.Makespan,
+		CostUSD:       merged.Total().Cost(),
+		ServerSeconds: res.ServerSeconds,
+		InfraCostUSD:  pricing.DefaultServer().Cost(res.ServerSeconds),
+		PeakServers:   res.PeakServers,
+		Launched:      res.Launched(),
+		Drained:       res.Drained(),
+		Events:        res.Events,
+		Servers:       res.Servers,
+		acc:           merged,
+		res:           res,
+	}, nil
+}
+
+// SimulateAutoscaledExact is SimulateAutoscaled with exact per-record
+// sinks, packaged as a ClusterResult (merged record set, per-server
+// breakdown, full assignment). Memory is O(invocations) — it exists for
+// validation: pinned to MinServers == MaxServers == N it reproduces
+// SimulateCluster's Streamed results bit for bit (the golden digests pin
+// this per dispatch policy).
+func SimulateAutoscaledExact(opts AutoscaleOptions, src Source) (*ClusterResult, error) {
+	opts, cfg, err := autoscaleConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.TrackAssignment = true
+	res, err := autoscale.Run(cfg, workload.Source(src))
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterResult{
+		Result: Result{
+			Scheduler:   opts.Scheduler,
+			Makespan:    res.Makespan,
+			Preemptions: res.Preemptions,
+		},
+		Dispatch:       res.Dispatch,
+		Servers:        res.Launched(),
+		CoresPerServer: opts.CoresPerServer,
+		Assignment:     res.Assignment,
+	}
+	for i := range res.Servers {
+		sv := &res.Servers[i]
+		sr := ServerResult{
+			Server:      sv.Index,
+			Invocations: sv.Routed,
+			Makespan:    sv.Makespan,
+			Preemptions: sv.Preemptions,
+		}
+		if sv.Set != nil {
+			sr.Set = *sv.Set
+			out.Result.Set.Records = append(out.Result.Set.Records, sv.Set.Records...)
+		}
+		out.PerServer = append(out.PerServer, sr)
+	}
+	sort.Slice(out.Result.Set.Records, func(i, j int) bool {
+		return out.Result.Set.Records[i].ID < out.Result.Set.Records[j].ID
+	})
+	return out, nil
 }

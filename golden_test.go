@@ -150,6 +150,38 @@ func computeStreamedDigests(t *testing.T) map[string]string {
 	return out
 }
 
+// computeAutoscaledDigests reruns the fleet half of the golden matrix
+// through the elastic autoscaler pinned to MinServers == MaxServers — no
+// scaling decision can fire, so the streaming dispatcher must route,
+// simulate, and merge exactly like the fixed streamed fleet. The digests
+// are compared against the SAME committed cluster keys: the autoscaler
+// earns no digests of its own, it must reproduce the existing ones.
+func computeAutoscaledDigests(t *testing.T) map[string]string {
+	t.Helper()
+	invs := goldenWorkload(t)
+	out := map[string]string{}
+
+	for _, d := range Dispatches() {
+		cres, err := SimulateAutoscaledExact(AutoscaleOptions{
+			MinServers: 3, MaxServers: 3, CoresPerServer: 4,
+			Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1,
+		}, SliceSource(invs))
+		if err != nil {
+			t.Fatalf("autoscaled %s: %v", d, err)
+		}
+		out["cluster/hybrid/"+string(d)] = digestCluster(cres)
+	}
+	cres, err := SimulateAutoscaledExact(AutoscaleOptions{
+		MinServers: 3, MaxServers: 3, CoresPerServer: 4,
+		Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1,
+	}, SliceSource(invs))
+	if err != nil {
+		t.Fatalf("autoscaled cfs: %v", err)
+	}
+	out["cluster/cfs/least-loaded"] = digestCluster(cres)
+	return out
+}
+
 func TestGoldenDigests(t *testing.T) {
 	got := computeDigests(t)
 
@@ -161,6 +193,15 @@ func TestGoldenDigests(t *testing.T) {
 	for k, v := range streamed {
 		if got[k] != v {
 			t.Errorf("streamed dataflow diverges from materialized on %s:\n  streamed     %.12s…\n  materialized %.12s…", k, v, got[k])
+		}
+	}
+
+	// A pinned (min=max) autoscaler must reproduce the fixed streamed
+	// fleet bit for bit — the determinism bar for the elastic dispatcher.
+	autoscaled := computeAutoscaledDigests(t)
+	for k, v := range autoscaled {
+		if got[k] != v {
+			t.Errorf("pinned autoscaler diverges from fixed fleet on %s:\n  autoscaled %.12s…\n  fixed      %.12s…", k, v, got[k])
 		}
 	}
 

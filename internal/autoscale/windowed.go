@@ -1,0 +1,52 @@
+// RunWindowed is the standard fixed-memory wiring over Run: one windowed
+// sub-accumulator sink per server, merged in server-index order. Both the
+// facade (SimulateAutoscaled) and the ext-autoscale experiment call it,
+// so the sink-collection and merge semantics cannot drift between them.
+
+package autoscale
+
+import (
+	"errors"
+	"time"
+
+	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/pricing"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// RunWindowed runs cfg over src with per-server metrics.WindowedAccumulator
+// sinks of the given width billing at tariff, and returns the merged sink
+// alongside the fleet result. cfg.Sink must be nil — this helper owns the
+// sinks; drive Run directly to collect something else.
+func RunWindowed(cfg Config, src workload.Source, tariff pricing.Tariff, width time.Duration) (*metrics.WindowedAccumulator, *Result, error) {
+	if cfg.Sink != nil {
+		return nil, nil, errors.New("autoscale: RunWindowed owns Sink; drive Run directly for custom sinks")
+	}
+	// Validate the width before Run so the per-server factory can't fail.
+	merged, err := metrics.NewWindowedAccumulator(tariff, width)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sinks []*metrics.WindowedAccumulator
+	cfg.Sink = func(server int) metrics.Sink {
+		w, werr := metrics.NewWindowedAccumulator(tariff, width)
+		if werr != nil {
+			panic(werr) // unreachable: width validated above
+		}
+		for len(sinks) <= server {
+			sinks = append(sinks, nil)
+		}
+		sinks[server] = w
+		return w
+	}
+	res, err := Run(cfg, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, w := range sinks { // server-index order: deterministic merge
+		if err := merged.Merge(w); err != nil {
+			return nil, nil, err
+		}
+	}
+	return merged, res, nil
+}

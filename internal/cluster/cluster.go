@@ -112,10 +112,12 @@ func Imbalance(perServer []ServerResult) float64 {
 // ImbalanceRatio reports Imbalance over this result's servers.
 func (r *Result) ImbalanceRatio() float64 { return Imbalance(r.PerServer) }
 
-// routed is one invocation with its global index.
-type routed struct {
-	inv workload.Invocation
-	idx int
+// Routed is one invocation tagged with its global (zero-based) index into
+// the run's arrival order; the index fixes the task ID (Idx+1) and with it
+// the deterministic merge order.
+type Routed struct {
+	Inv workload.Invocation
+	Idx int
 }
 
 // Simulate routes invs across the fleet and simulates every server.
@@ -145,21 +147,25 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	}
 
 	// Phase 1: route every invocation, in arrival order, deterministically.
-	model := newFleetModel(cfg.Servers, cfg.Kernel.Cores)
-	disp, err := newDispatcher(cfg.Dispatch, cfg.Servers, cfg.Seed, model)
+	model := NewFleetModel(cfg.Servers, cfg.Kernel.Cores)
+	disp, err := NewDispatcher(cfg.Dispatch, cfg.Seed, model)
 	if err != nil {
 		return nil, err
 	}
+	candidates := make([]int, cfg.Servers)
+	for s := range candidates {
+		candidates[s] = s
+	}
 	assignment := make([]int, len(invs))
-	perServer := make([][]routed, cfg.Servers)
+	perServer := make([][]Routed, cfg.Servers)
 	for i, inv := range invs {
-		s := disp.pick(inv)
+		s := disp.Pick(inv, candidates)
 		if s < 0 || s >= cfg.Servers {
 			return nil, fmt.Errorf("cluster: dispatch %q picked server %d of %d", cfg.Dispatch, s, cfg.Servers)
 		}
-		model.assign(s, inv)
+		model.Assign(s, inv)
 		assignment[i] = s
-		perServer[s] = append(perServer[s], routed{inv: inv, idx: i})
+		perServer[s] = append(perServer[s], Routed{Inv: inv, Idx: i})
 	}
 
 	// Policies are built sequentially so factories need not be
@@ -211,7 +217,7 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 }
 
 // runServer simulates one server's routed share on a fresh kernel.
-func runServer(s int, cfg Config, policy ghost.Policy, share []routed) (ServerResult, error) {
+func runServer(s int, cfg Config, policy ghost.Policy, share []Routed) (ServerResult, error) {
 	out := ServerResult{Server: s, Invocations: len(share)}
 	if len(share) == 0 {
 		return out, nil
@@ -223,7 +229,7 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []routed) (ServerRe
 	} else {
 		tasks := make([]*simkern.Task, 0, len(share))
 		for _, r := range share {
-			tasks = append(tasks, workload.Task(r.inv, simkern.TaskID(r.idx+1)))
+			tasks = append(tasks, workload.Task(r.Inv, simkern.TaskID(r.Idx+1)))
 		}
 		if k, err = simrun.Exec(cfg.Kernel, policy, cfg.Ghost, simrun.AddTasks(tasks)); err == nil {
 			out.Set = metrics.Collect(k)
@@ -237,28 +243,46 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []routed) (ServerRe
 	return out, nil
 }
 
-// runStreamed drives one server's share through the streaming dataflow: a
-// per-server task pool feeds the lazy-admission feeder, and an exact Set
-// sink gathers completions. Records arrive in completion order and are
-// re-sorted by global invocation id, which is exactly the order
-// metrics.Collect reports for the materialized path.
-func runStreamed(cfg Config, policy ghost.Policy, share []routed) (*simkern.Kernel, metrics.Set, error) {
+// RunStreamedServer drives one server's routed share — pulled lazily from
+// next — through the streaming dataflow: a per-server task pool feeds the
+// lazy-admission feeder, tasks carry their global invocation id (Idx+1),
+// and every completion is pushed into sink in completion order. Both the
+// fixed fleet (share slice) and the autoscale layer (routing channel) wrap
+// this one runner, so their per-server simulations are the same
+// computation by construction.
+func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config,
+	window time.Duration, next func() (Routed, bool), sink metrics.Sink) (*simkern.Kernel, error) {
 	pool := workload.NewTaskPool()
-	i := 0
 	src := func() (*simkern.Task, bool) {
-		if i >= len(share) {
+		r, ok := next()
+		if !ok {
 			return nil, false
+		}
+		return pool.Get(r.Inv, simkern.TaskID(r.Idx+1)), true
+	}
+	return simrun.ExecStream(kcfg, policy, gcfg, src, simrun.StreamConfig{
+		Window:  window,
+		Sink:    sink,
+		Recycle: func(t *simkern.Task) { pool.Put(t) },
+	})
+}
+
+// runStreamed is RunStreamedServer over a materialized share with an exact
+// Set sink. Records arrive in completion order and are re-sorted by global
+// invocation id, which is exactly the order metrics.Collect reports for
+// the materialized path.
+func runStreamed(cfg Config, policy ghost.Policy, share []Routed) (*simkern.Kernel, metrics.Set, error) {
+	i := 0
+	next := func() (Routed, bool) {
+		if i >= len(share) {
+			return Routed{}, false
 		}
 		r := share[i]
 		i++
-		return pool.Get(r.inv, simkern.TaskID(r.idx+1)), true
+		return r, true
 	}
 	var set metrics.Set
-	k, err := simrun.ExecStream(cfg.Kernel, policy, cfg.Ghost, src, simrun.StreamConfig{
-		Window:  cfg.Window,
-		Sink:    &set,
-		Recycle: func(t *simkern.Task) { pool.Put(t) },
-	})
+	k, err := RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &set)
 	if err != nil {
 		return nil, metrics.Set{}, err
 	}

@@ -170,28 +170,39 @@ func TestJoinIdleQueuePrefersIdle(t *testing.T) {
 }
 
 func TestFleetModel(t *testing.T) {
-	m := newFleetModel(2, 2)
-	if w := m.outstanding(0, 0); w != 0 {
+	m := NewFleetModel(2, 2)
+	if w := m.Outstanding(0, 0); w != 0 {
 		t.Errorf("fresh outstanding = %v", w)
 	}
-	if _, idle := m.idleSince(0, 0); !idle {
+	if _, idle := m.IdleSince(0, 0); !idle {
 		t.Error("fresh server not idle")
 	}
 	inv := workload.Invocation{Arrival: 0, Duration: 10 * time.Millisecond}
-	m.assign(0, inv)
-	m.assign(0, inv)
-	m.assign(0, inv) // third queues behind the first lane
-	if w := m.outstanding(0, 0); w != 30*time.Millisecond {
+	m.Assign(0, inv)
+	m.Assign(0, inv)
+	if fin := m.Assign(0, inv); fin != 20*time.Millisecond {
+		t.Errorf("third booking finishes at %v, want 20ms (queued behind lane 0)", fin)
+	}
+	if w := m.Outstanding(0, 0); w != 30*time.Millisecond {
 		t.Errorf("outstanding = %v, want 30ms", w)
 	}
-	if _, idle := m.idleSince(0, 5*time.Millisecond); idle {
+	if n := m.BusyLanes(0, 5*time.Millisecond); n != 2 {
+		t.Errorf("busy lanes = %d, want 2", n)
+	}
+	if _, idle := m.IdleSince(0, 5*time.Millisecond); idle {
 		t.Error("busy server reported idle")
 	}
-	if since, idle := m.idleSince(0, 25*time.Millisecond); !idle || since != 20*time.Millisecond {
-		t.Errorf("idleSince = %v, %v; want 20ms, true", since, idle)
+	if since, idle := m.IdleSince(0, 25*time.Millisecond); !idle || since != 20*time.Millisecond {
+		t.Errorf("IdleSince = %v, %v; want 20ms, true", since, idle)
 	}
-	if w := m.outstanding(1, 0); w != 0 {
+	if w := m.Outstanding(1, 0); w != 0 {
 		t.Errorf("untouched server outstanding = %v", w)
+	}
+	if s := m.AddServer(40 * time.Millisecond); s != 2 {
+		t.Errorf("AddServer index = %d, want 2", s)
+	}
+	if since, idle := m.IdleSince(2, 50*time.Millisecond); !idle || since != 40*time.Millisecond {
+		t.Errorf("new server IdleSince = %v, %v; want 40ms, true (lanes free at spin-up end)", since, idle)
 	}
 }
 

@@ -34,29 +34,51 @@ func Dispatches() []Dispatch {
 	}
 }
 
-// fleetModel is the dispatcher's causal view of per-server load. Real
+// FleetModel is the dispatcher's causal view of per-server load. Real
 // front-ends never see the instantaneous core-level state of every server;
 // they track what they have dispatched. The model treats each server as
 // Cores FIFO lanes: an invocation routed to a server occupies the lane
 // that frees earliest, from max(arrival, laneFree) until +Duration. This
 // keeps routing deterministic and independent of how the per-server
 // simulations interleave, which is what lets servers simulate
-// concurrently (see DESIGN.md §5).
-type fleetModel struct {
+// concurrently (see DESIGN.md §5). The autoscale layer grows the model
+// mid-run through AddServer; a fixed fleet never does.
+type FleetModel struct {
+	cores    int
 	laneFree [][]time.Duration // [server][lane] -> time the lane frees
 }
 
-func newFleetModel(servers, cores int) *fleetModel {
-	m := &fleetModel{laneFree: make([][]time.Duration, servers)}
+// NewFleetModel returns a model of the given fixed starting fleet; every
+// server's lanes are free from time zero.
+func NewFleetModel(servers, cores int) *FleetModel {
+	m := &FleetModel{cores: cores, laneFree: make([][]time.Duration, servers)}
 	for s := range m.laneFree {
 		m.laneFree[s] = make([]time.Duration, cores)
 	}
 	return m
 }
 
-// outstanding returns server s's dispatched-but-unfinished work at time now
+// Servers returns the number of modeled servers.
+func (m *FleetModel) Servers() int { return len(m.laneFree) }
+
+// Cores returns the per-server lane count.
+func (m *FleetModel) Cores() int { return m.cores }
+
+// AddServer grows the fleet by one server whose lanes free at readyAt (a
+// server cannot have run anything before it finished spinning up). It
+// returns the new server's index.
+func (m *FleetModel) AddServer(readyAt time.Duration) int {
+	lanes := make([]time.Duration, m.cores)
+	for l := range lanes {
+		lanes[l] = readyAt
+	}
+	m.laneFree = append(m.laneFree, lanes)
+	return len(m.laneFree) - 1
+}
+
+// Outstanding returns server s's dispatched-but-unfinished work at time now
 // under the lane model.
-func (m *fleetModel) outstanding(s int, now time.Duration) time.Duration {
+func (m *FleetModel) Outstanding(s int, now time.Duration) time.Duration {
 	var sum time.Duration
 	for _, free := range m.laneFree[s] {
 		if free > now {
@@ -66,9 +88,21 @@ func (m *fleetModel) outstanding(s int, now time.Duration) time.Duration {
 	return sum
 }
 
-// idleSince returns when server s last became idle (the instant its last
+// BusyLanes returns how many of server s's lanes are still occupied at
+// time now — the autoscaler's utilization signal numerator.
+func (m *FleetModel) BusyLanes(s int, now time.Duration) int {
+	n := 0
+	for _, free := range m.laneFree[s] {
+		if free > now {
+			n++
+		}
+	}
+	return n
+}
+
+// IdleSince returns when server s last became idle (the instant its last
 // lane freed) and whether it is idle at time now.
-func (m *fleetModel) idleSince(s int, now time.Duration) (time.Duration, bool) {
+func (m *FleetModel) IdleSince(s int, now time.Duration) (time.Duration, bool) {
 	var last time.Duration
 	for _, free := range m.laneFree[s] {
 		if free > now {
@@ -81,8 +115,9 @@ func (m *fleetModel) idleSince(s int, now time.Duration) (time.Duration, bool) {
 	return last, true
 }
 
-// assign books inv onto server s's earliest-freeing lane.
-func (m *fleetModel) assign(s int, inv workload.Invocation) {
+// Assign books inv onto server s's earliest-freeing lane and returns the
+// booked completion instant (start + service demand under the lane model).
+func (m *FleetModel) Assign(s int, inv workload.Invocation) time.Duration {
 	lanes := m.laneFree[s]
 	best := 0
 	for l := 1; l < len(lanes); l++ {
@@ -95,42 +130,47 @@ func (m *fleetModel) assign(s int, inv workload.Invocation) {
 		start = lanes[best]
 	}
 	lanes[best] = start + inv.Duration
+	return lanes[best]
 }
 
-// dispatcher routes one invocation at a time. pick is called in arrival
-// order; the caller books the chosen server into the shared fleetModel
-// afterwards, so implementations observe the load their own earlier
-// decisions created.
-type dispatcher interface {
-	pick(inv workload.Invocation) int
+// Dispatcher routes one invocation at a time. Pick is called in arrival
+// order with the eligible servers in ascending index order; the caller
+// books the chosen server into the shared FleetModel afterwards, so
+// implementations observe the load their own earlier decisions created.
+// A fixed fleet passes every server on every call; the autoscale layer
+// passes only the ready, non-draining subset — with the full set the
+// decisions (and consumed random numbers) are identical to the fixed-fleet
+// dispatcher, which is what pins the min=max golden digests.
+type Dispatcher interface {
+	Pick(inv workload.Invocation, candidates []int) int
 }
 
 type randomDispatch struct {
-	rng     *rand.Rand
-	servers int
+	rng *rand.Rand
 }
 
-func (d *randomDispatch) pick(workload.Invocation) int { return d.rng.Intn(d.servers) }
+func (d *randomDispatch) Pick(_ workload.Invocation, candidates []int) int {
+	return candidates[d.rng.Intn(len(candidates))]
+}
 
 type roundRobinDispatch struct {
-	next    int
-	servers int
+	next int
 }
 
-func (d *roundRobinDispatch) pick(workload.Invocation) int {
-	s := d.next
-	d.next = (d.next + 1) % d.servers
+func (d *roundRobinDispatch) Pick(_ workload.Invocation, candidates []int) int {
+	s := candidates[d.next%len(candidates)]
+	d.next = (d.next + 1) % len(candidates)
 	return s
 }
 
 type leastLoadedDispatch struct {
-	model *fleetModel
+	model *FleetModel
 }
 
-func (d *leastLoadedDispatch) pick(inv workload.Invocation) int {
-	best, bestLoad := 0, time.Duration(-1)
-	for s := range d.model.laneFree {
-		load := d.model.outstanding(s, inv.Arrival)
+func (d *leastLoadedDispatch) Pick(inv workload.Invocation, candidates []int) int {
+	best, bestLoad := candidates[0], time.Duration(-1)
+	for _, s := range candidates {
+		load := d.model.Outstanding(s, inv.Arrival)
 		if bestLoad < 0 || load < bestLoad {
 			best, bestLoad = s, load
 		}
@@ -139,14 +179,14 @@ func (d *leastLoadedDispatch) pick(inv workload.Invocation) int {
 }
 
 type joinIdleQueueDispatch struct {
-	model *fleetModel
+	model *FleetModel
 	rng   *rand.Rand
 }
 
-func (d *joinIdleQueueDispatch) pick(inv workload.Invocation) int {
+func (d *joinIdleQueueDispatch) Pick(inv workload.Invocation, candidates []int) int {
 	best, bestSince, found := 0, time.Duration(0), false
-	for s := range d.model.laneFree {
-		since, idle := d.model.idleSince(s, inv.Arrival)
+	for _, s := range candidates {
+		since, idle := d.model.IdleSince(s, inv.Arrival)
 		if !idle {
 			continue
 		}
@@ -157,16 +197,16 @@ func (d *joinIdleQueueDispatch) pick(inv workload.Invocation) int {
 	if found {
 		return best
 	}
-	return d.rng.Intn(len(d.model.laneFree))
+	return candidates[d.rng.Intn(len(candidates))]
 }
 
-// newDispatcher constructs the dispatcher for d over servers sharing model.
-func newDispatcher(d Dispatch, servers int, seed int64, model *fleetModel) (dispatcher, error) {
+// NewDispatcher constructs the dispatcher for d over servers sharing model.
+func NewDispatcher(d Dispatch, seed int64, model *FleetModel) (Dispatcher, error) {
 	switch d {
 	case DispatchRandom:
-		return &randomDispatch{rng: rand.New(rand.NewSource(seed)), servers: servers}, nil
+		return &randomDispatch{rng: rand.New(rand.NewSource(seed))}, nil
 	case DispatchRoundRobin:
-		return &roundRobinDispatch{servers: servers}, nil
+		return &roundRobinDispatch{}, nil
 	case DispatchLeastLoaded:
 		return &leastLoadedDispatch{model: model}, nil
 	case DispatchJoinIdleQueue:

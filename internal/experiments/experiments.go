@@ -100,10 +100,17 @@ type Env struct {
 	W2Max  int
 	W10Max int
 
-	// DiurnalMinutes overrides the ext-diurnal horizon, in trace minutes
-	// (the faasbench -minutes knob). Zero means the scale default: 30 at
-	// quick, 360 (6 h) at full, 1440 (24 h) at fullscale.
+	// DiurnalMinutes overrides the ext-diurnal/ext-autoscale horizon, in
+	// trace minutes (the faasbench -minutes knob). Zero means the scale
+	// default: 30 at quick, 360 (6 h) at full, 1440 (24 h) at fullscale.
 	DiurnalMinutes int
+
+	// AutoscaleMin / AutoscaleMax override the ext-autoscale fleet bounds
+	// (the faasbench -as-min/-as-max knobs). Zero means the scale default.
+	AutoscaleMin, AutoscaleMax int
+	// AutoscaleSpinUp overrides the server provisioning latency (the
+	// faasbench -as-spinup knob). Zero means autoscale.DefaultSpinUp.
+	AutoscaleSpinUp time.Duration
 
 	mu  sync.Mutex
 	tr  *trace.Trace

@@ -116,8 +116,8 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "table1",
 		"ablation-cachepenalty", "ablation-mingran", "ablation-msglatency",
-		"ablation-switchcost", "ext-cluster-dispatch", "ext-diurnal",
-		"ext-fullscale", "ext-vmthreads", "table1i",
+		"ablation-switchcost", "ext-autoscale", "ext-cluster-dispatch",
+		"ext-diurnal", "ext-fullscale", "ext-vmthreads", "table1i",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -158,6 +158,21 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Error("Text missing id")
 			}
 		})
+	}
+}
+
+// TestAutoscaleBoundsValidation: a floor override above the scale-default
+// cap must be rejected with a message naming both, not silently pinned.
+func TestAutoscaleBoundsValidation(t *testing.T) {
+	e := NewEnv(ScaleQuick)
+	e.AutoscaleMin = 99
+	if _, err := Run(e, "ext-autoscale"); err == nil ||
+		!strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), "-as-max") {
+		t.Errorf("floor above default cap: %v", err)
+	}
+	e.AutoscaleMax = 120
+	if _, _, _, err := e.autoscaleBounds(); err != nil {
+		t.Errorf("explicit cap above floor rejected: %v", err)
 	}
 }
 

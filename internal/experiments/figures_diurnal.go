@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/faassched/faassched/internal/core"
@@ -43,6 +44,21 @@ func (e *Env) diurnalMinutes() int {
 		return fullDiurnalMinutes
 	default:
 		return quickDiurnalMinutes
+	}
+}
+
+// diurnalWindow resolves the per-window sub-accumulator width for the
+// long-horizon experiments: wide enough that each window holds a
+// statistically meaningful completion count, narrow enough that the
+// diurnal swing shows (≥3 windows at every scale default).
+func (e *Env) diurnalWindow() time.Duration {
+	switch e.Scale {
+	case ScaleFullScale:
+		return 2 * time.Hour
+	case ScaleFull:
+		return time.Hour
+	default:
+		return 10 * time.Minute
 	}
 }
 
@@ -106,10 +122,11 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 		"scheduler", "n", "p50_exec_ms", "p99_exec_ms", "p50_resp_ms", "p99_resp_ms",
 		"p99_turn_s", "preemptions", "makespan_s", "cost_usd")
 	for _, s := range schedulers {
-		acc, makespan, err := e.RunStreamed(s.mk(), src)
+		win, makespan, err := e.RunStreamed(s.mk(), src)
 		if err != nil {
 			return nil, fmt.Errorf("ext-diurnal %s: %w", s.name, err)
 		}
+		acc := win.Total()
 		q := func(m metrics.Metric, p float64) string {
 			v, err := acc.Quantile(m, p)
 			if err != nil {
@@ -129,6 +146,7 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 			fmt.Sprintf("%d", acc.TotalPreemptions()),
 			fmtSec(float64(makespan)/float64(time.Second)),
 			fmtUSD(acc.Cost()))
+		fig.Note("%s per %v window | %s", s.name, win.Width(), windowTrack(win))
 	}
 	fig.Note("streaming dataflow: lazy admission + task recycling + fixed-memory accumulator sinks; quantiles are log-bucket histogram estimates")
 	fig.Note("volume: RateScale=1 (already-downscaled Azure-calibrated rate); horizon %d min of the 1440-min diurnal cycle (scale=%s, override with -minutes)", minutes, e.Scale)
@@ -136,14 +154,41 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 	return fig, nil
 }
 
+// windowTrack renders a windowed sink's per-window p99 turnaround and
+// cost as a compact note line — how latency and the bill track the swing.
+func windowTrack(win *metrics.WindowedAccumulator) string {
+	var p99s, costs []string
+	for i := 0; i < win.Windows(); i++ {
+		w := win.Window(i)
+		if w.Completed() == 0 {
+			p99s = append(p99s, "-")
+			costs = append(costs, "-")
+			continue
+		}
+		v, err := w.P99(metrics.Turnaround)
+		if err != nil {
+			p99s = append(p99s, "-")
+		} else {
+			p99s = append(p99s, fmtSec(v))
+		}
+		costs = append(costs, fmtUSD(w.Cost()))
+	}
+	return fmt.Sprintf("p99_turn_s: %s | cost_usd: %s",
+		strings.Join(p99s, " "), strings.Join(costs, " "))
+}
+
 // RunStreamed executes one policy over the source through the streaming
-// pipeline with an accumulator sink, returning the sink and the makespan.
-func (e *Env) RunStreamed(policy ghost.Policy, src workload.Source) (*metrics.Accumulator, time.Duration, error) {
-	acc := metrics.NewAccumulator(e.Tariff)
-	k, err := simrun.ExecStreamPooled(simkern.DefaultConfig(e.Cores), policy, ghost.Config{}, src,
-		simrun.StreamConfig{Sink: acc})
+// pipeline with a fixed-memory windowed sink (width from diurnalWindow),
+// returning the sink and the makespan.
+func (e *Env) RunStreamed(policy ghost.Policy, src workload.Source) (*metrics.WindowedAccumulator, time.Duration, error) {
+	win, err := metrics.NewWindowedAccumulator(e.Tariff, e.diurnalWindow())
 	if err != nil {
 		return nil, 0, err
 	}
-	return acc, k.Makespan(), nil
+	k, err := simrun.ExecStreamPooled(simkern.DefaultConfig(e.Cores), policy, ghost.Config{}, src,
+		simrun.StreamConfig{Sink: win})
+	if err != nil {
+		return nil, 0, err
+	}
+	return win, k.Makespan(), nil
 }

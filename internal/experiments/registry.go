@@ -43,6 +43,7 @@ var registry = map[string]Runner{
 	"ext-cluster-dispatch":  ExtClusterDispatch,
 	"ext-fullscale":         ExtFullScale,
 	"ext-diurnal":           ExtDiurnal,
+	"ext-autoscale":         ExtAutoscale,
 }
 
 // IDs returns every experiment id in stable order: the paper's figures

@@ -1,0 +1,92 @@
+// Windowed sinks: the whole-run Accumulator answers "what did this run
+// cost", but the multi-hour diurnal experiments want "how did cost and
+// p99 track the daily swing". WindowedAccumulator slices the completion
+// stream into fixed-duration windows — each its own fixed-memory
+// Accumulator — while keeping an exact whole-run roll-up, so the figure
+// the 24 h horizon wants costs O(windows) extra memory, not O(records).
+
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faassched/faassched/internal/pricing"
+)
+
+// WindowedAccumulator is a Sink that buckets every completed record into
+// the fixed-duration window containing its completion instant (window i
+// covers [i·width, (i+1)·width)) and additionally folds it into a
+// whole-run total. Completion time is the bucketing key because that is
+// when the provider bills the invocation; failed records carry no timings
+// and are counted in the total only.
+//
+// Like Accumulator it is not safe for concurrent use; fleet runs give
+// each server its own windowed sink and Merge them afterwards in
+// server-index order (the float cost totals sum in call order).
+type WindowedAccumulator struct {
+	tariff pricing.Tariff
+	width  time.Duration
+	total  *Accumulator
+	wins   []*Accumulator
+}
+
+// NewWindowedAccumulator returns an empty windowed sink billing at tariff
+// with the given window width.
+func NewWindowedAccumulator(t pricing.Tariff, width time.Duration) (*WindowedAccumulator, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("metrics: window width must be positive, got %v", width)
+	}
+	return &WindowedAccumulator{tariff: t, width: width, total: NewAccumulator(t)}, nil
+}
+
+// Width returns the window width.
+func (w *WindowedAccumulator) Width() time.Duration { return w.width }
+
+// Push implements Sink.
+func (w *WindowedAccumulator) Push(r Record) {
+	w.total.Push(r)
+	if r.Failed {
+		return
+	}
+	i := int(r.Finish / w.width)
+	for len(w.wins) <= i {
+		w.wins = append(w.wins, NewAccumulator(w.tariff))
+	}
+	w.wins[i].Push(r)
+}
+
+// Windows returns how many windows have been opened: 1 + the index of the
+// latest window that received a record (earlier windows may be empty).
+func (w *WindowedAccumulator) Windows() int { return len(w.wins) }
+
+// Window returns window i's accumulator. It is valid for i in
+// [0, Windows()); empty windows hold zero-count accumulators.
+func (w *WindowedAccumulator) Window(i int) *Accumulator { return w.wins[i] }
+
+// Total returns the whole-run roll-up: every record pushed, regardless of
+// window — identical to an Accumulator fed the same stream.
+func (w *WindowedAccumulator) Total() *Accumulator { return w.total }
+
+// Merge folds other into w. Widths must match; windows merge pairwise
+// (growing w as needed) and the totals merge, all exactly — counts and
+// histogram buckets are integers, and the float cost totals sum in call
+// order, so merging per-server sinks in server-index order is
+// deterministic.
+func (w *WindowedAccumulator) Merge(other *WindowedAccumulator) error {
+	if other == nil {
+		return nil
+	}
+	if other.width != w.width {
+		return fmt.Errorf("metrics: merging windowed sinks of width %v into %v", other.width, w.width)
+	}
+	for len(w.wins) < len(other.wins) {
+		w.wins = append(w.wins, NewAccumulator(w.tariff))
+	}
+	for i, acc := range other.wins {
+		if err := w.wins[i].Merge(acc); err != nil {
+			return err
+		}
+	}
+	return w.total.Merge(other.total)
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/pricing"
+)
+
+// windowedRecord builds a completed record finishing at fin.
+func windowedRecord(id uint64, fin time.Duration) Record {
+	return Record{
+		ID:       id,
+		Arrival:  fin - 30*time.Millisecond,
+		FirstRun: fin - 20*time.Millisecond,
+		Finish:   fin,
+		CPU:      20 * time.Millisecond,
+		MemMB:    128,
+	}
+}
+
+func TestWindowedAccumulatorBucketsByFinish(t *testing.T) {
+	w, err := NewWindowedAccumulator(pricing.Default(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(windowedRecord(1, 100*time.Millisecond))
+	w.Push(windowedRecord(2, 999*time.Millisecond))
+	w.Push(windowedRecord(3, time.Second)) // boundary: belongs to window 1
+	w.Push(windowedRecord(4, 3500*time.Millisecond))
+	w.Push(Record{ID: 5, Failed: true}) // total-only
+
+	if w.Windows() != 4 {
+		t.Fatalf("windows = %d, want 4", w.Windows())
+	}
+	wantCounts := []int{2, 1, 0, 1}
+	for i, want := range wantCounts {
+		if got := w.Window(i).Completed(); got != want {
+			t.Errorf("window %d completed = %d, want %d", i, got, want)
+		}
+	}
+	if w.Total().Completed() != 4 || w.Total().FailedCount() != 1 {
+		t.Errorf("total = %d completed, %d failed", w.Total().Completed(), w.Total().FailedCount())
+	}
+	if w.Window(1).FailedCount() != 0 {
+		t.Error("failed record leaked into a window")
+	}
+}
+
+// TestWindowedMatchesFlatAccumulator: the total roll-up must be identical
+// to a plain Accumulator fed the same stream, and window contents must
+// partition it.
+func TestWindowedMatchesFlatAccumulator(t *testing.T) {
+	tariff := pricing.Default()
+	w, err := NewWindowedAccumulator(tariff, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewAccumulator(tariff)
+	for i := 1; i <= 200; i++ {
+		r := windowedRecord(uint64(i), time.Duration(i)*17*time.Millisecond)
+		r.Preemptions = i % 3
+		w.Push(r)
+		flat.Push(r)
+	}
+	if w.Total().Completed() != flat.Completed() ||
+		w.Total().TotalPreemptions() != flat.TotalPreemptions() ||
+		w.Total().TotalExecution() != flat.TotalExecution() ||
+		w.Total().Cost() != flat.Cost() {
+		t.Error("total roll-up diverges from flat accumulator")
+	}
+	wq, err1 := w.Total().Quantile(Turnaround, 0.99)
+	fq, err2 := flat.Quantile(Turnaround, 0.99)
+	if err1 != nil || err2 != nil || wq != fq {
+		t.Errorf("total quantile %v (%v) != flat %v (%v)", wq, err1, fq, err2)
+	}
+	n, cost := 0, 0.0
+	for i := 0; i < w.Windows(); i++ {
+		n += w.Window(i).Completed()
+		cost += w.Window(i).Cost()
+	}
+	if n != flat.Completed() {
+		t.Errorf("windows partition %d records, want %d", n, flat.Completed())
+	}
+	if d := cost - flat.Cost(); d > 1e-12 || d < -1e-12 {
+		t.Errorf("window costs sum to %v, want %v", cost, flat.Cost())
+	}
+}
+
+// TestWindowedMergeExact: pushing a stream through two sinks and merging
+// must equal pushing it through one — the per-server fleet merge claim.
+func TestWindowedMergeExact(t *testing.T) {
+	tariff := pricing.Default()
+	width := 250 * time.Millisecond
+	one, _ := NewWindowedAccumulator(tariff, width)
+	a, _ := NewWindowedAccumulator(tariff, width)
+	b, _ := NewWindowedAccumulator(tariff, width)
+	for i := 1; i <= 120; i++ {
+		r := windowedRecord(uint64(i), time.Duration(i)*11*time.Millisecond)
+		one.Push(r)
+		if i%2 == 0 {
+			a.Push(r)
+		} else {
+			b.Push(r)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Windows() != one.Windows() {
+		t.Fatalf("merged windows %d, want %d", a.Windows(), one.Windows())
+	}
+	for i := 0; i < one.Windows(); i++ {
+		if a.Window(i).Completed() != one.Window(i).Completed() {
+			t.Errorf("window %d merged count %d, want %d", i, a.Window(i).Completed(), one.Window(i).Completed())
+		}
+		aq, _ := a.Window(i).Quantile(Execution, 0.5)
+		oq, _ := one.Window(i).Quantile(Execution, 0.5)
+		if a.Window(i).Completed() > 0 && aq != oq {
+			t.Errorf("window %d merged p50 %v, want %v", i, aq, oq)
+		}
+	}
+	if a.Total().Completed() != one.Total().Completed() {
+		t.Errorf("merged total %d, want %d", a.Total().Completed(), one.Total().Completed())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+func TestWindowedValidation(t *testing.T) {
+	if _, err := NewWindowedAccumulator(pricing.Default(), 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewWindowedAccumulator(pricing.Default(), -time.Second); err == nil {
+		t.Error("negative width accepted")
+	}
+	a, _ := NewWindowedAccumulator(pricing.Default(), time.Second)
+	b, _ := NewWindowedAccumulator(pricing.Default(), 2*time.Second)
+	if err := a.Merge(b); err == nil {
+		t.Error("width-mismatched merge accepted")
+	}
+	if a.Width() != time.Second {
+		t.Errorf("width = %v", a.Width())
+	}
+}

@@ -80,6 +80,36 @@ func (t Tariff) Validate() error {
 	return nil
 }
 
+// ServerTariff prices the provider's side of the ledger: whole servers
+// billed by uptime, the infrastructure cost an elastic fleet trades
+// against the per-invocation execution cost the Lambda tariff bills. The
+// autoscale experiments report both — the paper's "scheduler choice costs
+// money" claim at fleet scale is the sum.
+type ServerTariff struct {
+	// HourlyUSD is the on-demand price of one server-hour.
+	HourlyUSD float64
+}
+
+// DefaultServer returns the published on-demand price of an 8-vCPU
+// general-purpose instance (m5.2xlarge, us-east-1) — matching the
+// simulator's default 8-core server.
+func DefaultServer() ServerTariff {
+	return ServerTariff{HourlyUSD: 0.384}
+}
+
+// Cost bills the given cumulative server uptime, in seconds.
+func (t ServerTariff) Cost(serverSeconds float64) float64 {
+	return serverSeconds / 3600.0 * t.HourlyUSD
+}
+
+// Validate reports an error for a non-positive hourly price.
+func (t ServerTariff) Validate() error {
+	if t.HourlyUSD <= 0 {
+		return fmt.Errorf("pricing: HourlyUSD must be positive, got %v", t.HourlyUSD)
+	}
+	return nil
+}
+
 // MemoryBucket is one entry of a discrete memory-size distribution.
 type MemoryBucket struct {
 	MemMB  int

@@ -132,3 +132,19 @@ func TestNewMemoryDistNormalizes(t *testing.T) {
 		t.Errorf("128MB mass = %v, want 0.25", got)
 	}
 }
+
+func TestServerTariff(t *testing.T) {
+	st := DefaultServer()
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Cost(3600); got != st.HourlyUSD {
+		t.Errorf("one server-hour costs %v, want %v", got, st.HourlyUSD)
+	}
+	if got := st.Cost(0); got != 0 {
+		t.Errorf("zero uptime costs %v", got)
+	}
+	if err := (ServerTariff{}).Validate(); err == nil {
+		t.Error("zero hourly rate accepted")
+	}
+}

@@ -7,10 +7,16 @@
 package workload
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"github.com/faassched/faassched/internal/fib"
 	"github.com/faassched/faassched/internal/simkern"
 	"github.com/faassched/faassched/internal/trace"
 )
@@ -121,6 +127,96 @@ func (b Builder) Stream(tr *trace.Trace, startMinute, minutes int) (Source, erro
 				}
 			}
 		}
+	}, nil
+}
+
+// ReadSource is Read's streaming sibling: it validates the header up
+// front, then yields invocations one parsed line at a time, so a
+// multi-GB trace file can feed the streaming simulation entry points
+// without ever being materialized. Unlike a Builder.Stream source the
+// result is single-pass — it consumes r as it is pulled, so it must be
+// iterated at most once (a second pass yields nothing).
+//
+// Parse errors after the header cannot surface through the yield-based
+// Source shape; they stop the stream early and are reported by the
+// returned error function, which the consumer must check once iteration
+// is over. Read is the thin materializing adapter over this.
+func ReadSource(r io.Reader, model fib.DurationModel) (Source, func() error, error) {
+	if model == (fib.DurationModel{}) {
+		model = fib.DefaultModel()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, nil, errors.New("workload: empty file")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != fileHeader {
+		return nil, nil, fmt.Errorf("workload: bad header %q, want %q", got, fileHeader)
+	}
+	var readErr error
+	started := false
+	src := func(yield func(Invocation) bool) {
+		// Single-pass latch: any second iteration — including after an
+		// early break — yields nothing, rather than resuming mid-file
+		// with the arrival accumulator and line counter rebased.
+		if started {
+			return
+		}
+		started = true
+		arrival := time.Duration(0)
+		line := 1
+		for readErr == nil && sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			inv, err := parseInvocation(text, line, model)
+			if err != nil {
+				readErr = err
+				return
+			}
+			arrival += inv.Arrival // parsed field holds the inter-arrival time
+			inv.Arrival = arrival
+			if !yield(inv) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil && readErr == nil {
+			readErr = err
+		}
+	}
+	return src, func() error { return readErr }, nil
+}
+
+// parseInvocation parses one workload-file row. The returned Arrival
+// carries the row's inter-arrival time; the caller accumulates it into an
+// absolute arrival instant.
+func parseInvocation(text string, line int, model fib.DurationModel) (Invocation, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 3 {
+		return Invocation{}, fmt.Errorf("workload: line %d: want 3 fields, got %d", line, len(fields))
+	}
+	iatUS, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || iatUS < 0 {
+		return Invocation{}, fmt.Errorf("workload: line %d: bad iat %q", line, fields[0])
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 1 {
+		return Invocation{}, fmt.Errorf("workload: line %d: bad fib_n %q", line, fields[1])
+	}
+	mem, err := strconv.Atoi(fields[2])
+	if err != nil || mem < 1 {
+		return Invocation{}, fmt.Errorf("workload: line %d: bad mem_mb %q", line, fields[2])
+	}
+	return Invocation{
+		Arrival:  time.Duration(iatUS) * time.Microsecond,
+		FibN:     n,
+		Duration: model.Duration(n),
+		MemMB:    mem,
 	}, nil
 }
 

@@ -14,8 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 	"time"
 
 	"github.com/faassched/faassched/internal/fib"
@@ -181,56 +179,16 @@ func Write(w io.Writer, invs []Invocation) error {
 }
 
 // Read parses the workload-file format, reconstructing arrivals from the
-// inter-arrival times and durations from the model.
+// inter-arrival times and durations from the model. It is the thin
+// materializing adapter over ReadSource; long traces that should never be
+// held in memory feed ReadSource to the streaming entry points directly.
 func Read(r io.Reader, model fib.DurationModel) ([]Invocation, error) {
-	if model == (fib.DurationModel{}) {
-		model = fib.DefaultModel()
-	}
-	if err := model.Validate(); err != nil {
+	src, readErr, err := ReadSource(r, model)
+	if err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	if !sc.Scan() {
-		return nil, errors.New("workload: empty file")
-	}
-	if got := strings.TrimSpace(sc.Text()); got != fileHeader {
-		return nil, fmt.Errorf("workload: bad header %q, want %q", got, fileHeader)
-	}
-	var out []Invocation
-	arrival := time.Duration(0)
-	line := 1
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		fields := strings.Split(text, ",")
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("workload: line %d: want 3 fields, got %d", line, len(fields))
-		}
-		iatUS, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil || iatUS < 0 {
-			return nil, fmt.Errorf("workload: line %d: bad iat %q", line, fields[0])
-		}
-		n, err := strconv.Atoi(fields[1])
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("workload: line %d: bad fib_n %q", line, fields[1])
-		}
-		mem, err := strconv.Atoi(fields[2])
-		if err != nil || mem < 1 {
-			return nil, fmt.Errorf("workload: line %d: bad mem_mb %q", line, fields[2])
-		}
-		arrival += time.Duration(iatUS) * time.Microsecond
-		out = append(out, Invocation{
-			Arrival:  arrival,
-			FibN:     n,
-			Duration: model.Duration(n),
-			MemMB:    mem,
-		})
-	}
-	if err := sc.Err(); err != nil {
+	out := Materialize(src)
+	if err := readErr(); err != nil {
 		return nil, err
 	}
 	if len(out) == 0 {

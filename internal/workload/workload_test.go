@@ -243,6 +243,10 @@ func TestTasksConversion(t *testing.T) {
 	}
 }
 
+// TestFileRoundTrip is the shared round-trip test for BOTH readers: the
+// materializing Read and the streaming ReadSource must reconstruct the
+// written workload identically (Read is a thin adapter over ReadSource,
+// but the test would catch either one drifting).
 func TestFileRoundTrip(t *testing.T) {
 	tr := testTrace(t, 2)
 	invs, err := Builder{}.Build(tr, 0, 2)
@@ -250,26 +254,52 @@ func TestFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	invs = TakeN(invs, 500)
-	var buf bytes.Buffer
-	if err := Write(&buf, invs); err != nil {
-		t.Fatal(err)
-	}
-	got, err := Read(&buf, fib.DurationModel{})
+	data := func() []byte {
+		var buf bytes.Buffer
+		if err := Write(&buf, invs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	materialized, err := Read(bytes.NewReader(data), fib.DurationModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(invs) {
-		t.Fatalf("round trip: %d vs %d", len(got), len(invs))
+	src, readErr, err := ReadSource(bytes.NewReader(data), fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range got {
-		// Arrivals round to µs in the file; error must not accumulate.
-		diff := got[i].Arrival - invs[i].Arrival
-		if diff < -time.Microsecond || diff > time.Microsecond {
-			t.Fatalf("invocation %d arrival drift %v", i, diff)
+	streamed := Materialize(src)
+	if err := readErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string][]Invocation{"Read": materialized, "ReadSource": streamed} {
+		if len(got) != len(invs) {
+			t.Fatalf("%s round trip: %d vs %d", name, len(got), len(invs))
 		}
-		if got[i].FibN != invs[i].FibN || got[i].MemMB != invs[i].MemMB {
-			t.Fatalf("invocation %d fields differ", i)
+		for i := range got {
+			// Arrivals round to µs in the file; error must not accumulate.
+			diff := got[i].Arrival - invs[i].Arrival
+			if diff < -time.Microsecond || diff > time.Microsecond {
+				t.Fatalf("%s invocation %d arrival drift %v", name, i, diff)
+			}
+			if got[i].FibN != invs[i].FibN || got[i].MemMB != invs[i].MemMB {
+				t.Fatalf("%s invocation %d fields differ", name, i)
+			}
 		}
+	}
+	for i := range streamed {
+		if streamed[i] != materialized[i] {
+			t.Fatalf("streamed and materialized readers disagree at %d: %+v != %+v",
+				i, streamed[i], materialized[i])
+		}
+	}
+	// The streaming source is single-pass: a second consumption yields
+	// nothing (documented; it reads the underlying io.Reader).
+	if again := Materialize(src); len(again) != 0 {
+		t.Errorf("second pass over ReadSource yielded %d invocations", len(again))
 	}
 }
 
@@ -288,6 +318,49 @@ func TestReadRejectsMalformed(t *testing.T) {
 		if _, err := Read(strings.NewReader(content), fib.DurationModel{}); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestReadSourceErrorReporting: header errors surface immediately; body
+// parse errors stop the stream and surface through the error function —
+// with every invocation before the bad line already delivered.
+func TestReadSourceErrorReporting(t *testing.T) {
+	if _, _, err := ReadSource(strings.NewReader("nope\n"), fib.DurationModel{}); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, _, err := ReadSource(strings.NewReader(""), fib.DurationModel{}); err == nil {
+		t.Error("empty file accepted")
+	}
+
+	src, readErr, err := ReadSource(
+		strings.NewReader("iat_us,fib_n,mem_mb\n1000,36,128\n2000,31,256\nbogus,31,128\n500,31,128\n"),
+		fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Materialize(src)
+	if len(got) != 2 {
+		t.Fatalf("yielded %d invocations before the bad line, want 2", len(got))
+	}
+	if got[1].Arrival != 3*time.Millisecond {
+		t.Errorf("arrival accumulation wrong: %v", got[1].Arrival)
+	}
+	err = readErr()
+	if err == nil {
+		t.Fatal("parse error not reported")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error does not name the line: %v", err)
+	}
+	// An aborted pull (early break) is not an error.
+	src2, readErr2, err := ReadSource(
+		strings.NewReader("iat_us,fib_n,mem_mb\n1,36,128\n1,36,128\n"), fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2(func(Invocation) bool { return false })
+	if err := readErr2(); err != nil {
+		t.Errorf("early stop reported error: %v", err)
 	}
 }
 
