@@ -206,7 +206,8 @@ func BenchmarkCFSSimulation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ghost.NewEnclave(k, cfs.New(cfs.Params{}), ghost.Config{}); err != nil {
+		enc, err := ghost.NewEnclave(k, cfs.New(cfs.Params{}), ghost.Config{})
+		if err != nil {
 			b.Fatal(err)
 		}
 		for _, t := range workload.Tasks(invs) {
@@ -219,6 +220,7 @@ func BenchmarkCFSSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(n), "events/run")
+		b.ReportMetric(float64(enc.Stats().TicksElided), "ticks_elided")
 	}
 }
 

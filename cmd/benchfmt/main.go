@@ -5,12 +5,16 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'CFSSimulation|KernelDispatch' -benchmem . | benchfmt > BENCH_baseline.json
+//	benchfmt -diff BENCH_baseline.json new.json
 //
-// scripts/bench_baseline.sh wraps the canonical invocation.
+// scripts/bench_baseline.sh wraps the canonical invocation; -diff prints
+// per-benchmark metric deltas between two recorded baselines, so every
+// baseline regeneration can document what moved.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -19,7 +23,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	diff := flag.Bool("diff", false, "compare two baseline JSON files: benchfmt -diff old.json new.json")
+	flag.Parse()
+	var err error
+	if *diff {
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg())
+		} else {
+			err = runDiff(flag.Arg(0), flag.Arg(1), os.Stdout)
+		}
+	} else if flag.NArg() != 0 {
+		err = fmt.Errorf("unexpected arguments %v (reads go test -bench output on stdin)", flag.Args())
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchfmt:", err)
 		os.Exit(1)
 	}
@@ -55,6 +73,121 @@ func run(r io.Reader, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// runDiff loads two baseline files and writes the per-benchmark deltas.
+func runDiff(oldPath, newPath string, w io.Writer) error {
+	oldFile, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newFile, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Diff(oldFile, newFile))
+	return nil
+}
+
+// load reads one BENCH_baseline.json-format file.
+func load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Diff renders per-benchmark metric deltas between two baselines: one
+// block per benchmark present in either file, one line per metric with
+// old value, new value, and relative change. Benchmarks or metrics on only
+// one side are flagged rather than dropped, so a renamed or newly added
+// benchmark is visible in the trajectory.
+func Diff(oldFile, newFile File) string {
+	olds := map[string]Result{}
+	for _, r := range oldFile.Benchmarks {
+		olds[r.Name] = r
+	}
+	news := map[string]Result{}
+	names := map[string]bool{}
+	for _, r := range newFile.Benchmarks {
+		news[r.Name] = r
+	}
+	for n := range olds {
+		names[n] = true
+	}
+	for n := range news {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var b strings.Builder
+	for _, name := range sorted {
+		o, haveOld := olds[name]
+		n, haveNew := news[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(&b, "%s: only in new baseline\n", name)
+			continue
+		case !haveNew:
+			fmt.Fprintf(&b, "%s: only in old baseline\n", name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", name)
+		metrics := map[string]bool{}
+		for m := range o.Metrics {
+			metrics[m] = true
+		}
+		for m := range n.Metrics {
+			metrics[m] = true
+		}
+		ms := make([]string, 0, len(metrics))
+		for m := range metrics {
+			ms = append(ms, m)
+		}
+		sort.Strings(ms)
+		for _, m := range ms {
+			ov, inOld := o.Metrics[m]
+			nv, inNew := n.Metrics[m]
+			switch {
+			case !inOld:
+				fmt.Fprintf(&b, "  %-16s %37s  (new metric)\n", m, formatValue(nv))
+			case !inNew:
+				fmt.Fprintf(&b, "  %-16s %-16s (metric removed)\n", m, formatValue(ov))
+			default:
+				fmt.Fprintf(&b, "  %-16s %16s -> %-16s %s\n", m, formatValue(ov), formatValue(nv), formatDelta(ov, nv))
+			}
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a metric compactly (integers without a mantissa).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// formatDelta renders the relative change between two metric values.
+func formatDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "(±0%)"
+		}
+		return "(was 0)"
+	}
+	pct := 100 * (newV - oldV) / oldV
+	return fmt.Sprintf("(%+.1f%%)", pct)
 }
 
 // Parse extracts benchmark result lines from go test output. Lines look

@@ -62,3 +62,48 @@ func TestRunEmitsSortedJSON(t *testing.T) {
 		t.Error("benchmarks not sorted by name")
 	}
 }
+
+func TestDiff(t *testing.T) {
+	oldFile := File{Benchmarks: []Result{
+		{Name: "BenchmarkCFSSimulation", Metrics: map[string]float64{"ns/op": 23189827, "events/run": 137416}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	newFile := File{Benchmarks: []Result{
+		{Name: "BenchmarkCFSSimulation", Metrics: map[string]float64{"ns/op": 1217528, "events/run": 3671, "ticks_elided": 12000}},
+		{Name: "BenchmarkAdded", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	out := Diff(oldFile, newFile)
+	for _, want := range []string{
+		"BenchmarkCFSSimulation",
+		"events/run",
+		"137416 -> 3671",
+		"(-97.3%)",
+		"ticks_elided",
+		"(new metric)",
+		"BenchmarkGone: only in old baseline",
+		"BenchmarkAdded: only in new baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "BenchmarkAdded") > strings.Index(out, "BenchmarkCFSSimulation") {
+		t.Error("diff not sorted by benchmark name")
+	}
+}
+
+func TestFormatDelta(t *testing.T) {
+	for _, tc := range []struct {
+		oldV, newV float64
+		want       string
+	}{
+		{100, 50, "(-50.0%)"},
+		{100, 150, "(+50.0%)"},
+		{0, 0, "(±0%)"},
+		{0, 5, "(was 0)"},
+	} {
+		if got := formatDelta(tc.oldV, tc.newV); got != tc.want {
+			t.Errorf("formatDelta(%v, %v) = %q, want %q", tc.oldV, tc.newV, got, tc.want)
+		}
+	}
+}

@@ -8,6 +8,13 @@
 //	clustersim -servers 16 -dispatch join-idle-queue -minutes 2 -n 4000
 //	clustersim -compare -servers 8            # sweep all dispatch policies
 //	clustersim -compare -csv results.csv      # machine-readable output
+//
+// -autoscale switches to the elastic fleet (SimulateAutoscaled): -servers
+// becomes the cap, and the fleet grows from -as-min toward it under the
+// chosen -scale-policy, with per-window latency/cost rows and the billed
+// server-seconds ledger:
+//
+//	clustersim -autoscale -as-min 1 -servers 6 -scale-policy queue-depth
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"github.com/faassched/faassched"
 	"github.com/faassched/faassched/internal/cliutil"
 	"github.com/faassched/faassched/internal/experiments"
+	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/workload"
 )
 
@@ -47,9 +55,39 @@ func run(args []string, stdout io.Writer) error {
 		compare   = fs.Bool("compare", false, "sweep every dispatch policy instead of running one")
 		file      = fs.String("workload", "", "replay a workload file instead of synthesizing")
 		csvPath   = fs.String("csv", "", "also write the result table as CSV to this path")
+
+		asMode   = fs.Bool("autoscale", false, "run an elastic fleet instead of a fixed one (-servers becomes the cap)")
+		asMin    = fs.Int("as-min", 1, "autoscale: provisioned fleet floor")
+		asPolicy = fs.String("scale-policy", string(faassched.ScaleTargetUtilization),
+			fmt.Sprintf("autoscale: scaling policy %v", faassched.ScalePolicies()))
+		asSpinUp = fs.Duration("as-spinup", 0, "autoscale: server spin-up latency (0 = default 30s)")
+		asWindow = fs.Duration("as-window", 10*time.Minute, "autoscale: per-window metrics width")
 	)
 	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
 		return err
+	}
+	// Validate autoscale arguments up front, faasbench-style, so scripts
+	// fail with the full list of valid values before any simulation runs.
+	if *asMode {
+		known := false
+		for _, p := range faassched.ScalePolicies() {
+			if faassched.ScalePolicy(*asPolicy) == p {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown -scale-policy %q (have %v)", *asPolicy, faassched.ScalePolicies())
+		}
+		if *asMin < 1 || *asMin > *servers {
+			return fmt.Errorf("-as-min %d out of [1, -servers %d]", *asMin, *servers)
+		}
+		if *asSpinUp < 0 {
+			return fmt.Errorf("-as-spinup %v must be >= 0 (0 = default)", *asSpinUp)
+		}
+		if *asWindow <= 0 {
+			return fmt.Errorf("-as-window %v must be positive", *asWindow)
+		}
 	}
 
 	invs, err := faassched.LoadWorkload(*file, faassched.WorkloadSpec{
@@ -62,6 +100,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "workload: %d invocations spanning %s, total demand %s\n",
 		len(invs), invs[len(invs)-1].Arrival.Round(time.Second), workload.TotalWork(invs).Round(time.Second))
+
+	if *asMode {
+		return runAutoscale(stdout, invs, autoscaleArgs{
+			min: *asMin, max: *servers, cores: *cores,
+			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
+			policy: faassched.ScalePolicy(*asPolicy), spinUp: *asSpinUp, window: *asWindow,
+			seed: *seed, fifoCores: *fifoCores, limit: *limit, csvPath: *csvPath,
+		})
+	}
 
 	dispatches := []faassched.Dispatch{faassched.Dispatch(*dispatch)}
 	if *compare {
@@ -114,6 +161,80 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+// autoscaleArgs bundles the resolved -autoscale flags.
+type autoscaleArgs struct {
+	min, max, cores int
+	dispatch        faassched.Dispatch
+	sched           faassched.Scheduler
+	policy          faassched.ScalePolicy
+	spinUp, window  time.Duration
+	seed            int64
+	fifoCores       int
+	limit           time.Duration
+	csvPath         string
+}
+
+// runAutoscale is the one-off elastic-fleet entry point (ROADMAP item):
+// SimulateAutoscaled outside the experiment harness, with per-window rows
+// and the fleet timeline.
+func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs) error {
+	start := time.Now()
+	stats, err := faassched.SimulateAutoscaled(faassched.AutoscaleOptions{
+		MinServers:     a.min,
+		MaxServers:     a.max,
+		CoresPerServer: a.cores,
+		Dispatch:       a.dispatch,
+		Scheduler:      a.sched,
+		Seed:           a.seed,
+		FIFOCores:      a.fifoCores,
+		TimeLimit:      a.limit,
+		ScalePolicy:    a.policy,
+		SpinUp:         a.spinUp,
+		MetricsWindow:  a.window,
+	}, faassched.SliceSource(invs))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# autoscaled %d..%d×%d-core fleet simulated in %s\n# %s\n",
+		a.min, a.max, a.cores, time.Since(start).Round(time.Millisecond), stats.Summary())
+	fmt.Fprintf(stdout, "# fleet timeline: %s\n", stats.Timeline(20))
+
+	fig := experiments.NewFigure("clustersim-autoscale",
+		fmt.Sprintf("%d..%d×%d-core elastic fleet, %s per server, %s scaling", a.min, a.max, a.cores, a.sched, stats.ScalePolicy),
+		"window", "n", "p99_resp_ms", "p99_turn_s", "exec_cost_usd", "server_s")
+	row := func(label string, acc *metrics.Accumulator, serverSeconds float64) {
+		resp, turn := "-", "-"
+		if acc.Completed() > 0 {
+			if v, err := acc.Quantile(faassched.Response, 0.99); err == nil {
+				resp = fmt.Sprintf("%.1f", v)
+			}
+			if v, err := acc.P99(faassched.Turnaround); err == nil {
+				turn = fmt.Sprintf("%.2f", v)
+			}
+		}
+		fig.AddRow(label,
+			fmt.Sprintf("%d", acc.Completed()), resp, turn,
+			fmt.Sprintf("%.6f", acc.Cost()), fmt.Sprintf("%.0f", serverSeconds))
+	}
+	for w := 0; w < stats.WindowCount(); w++ {
+		lo, hi := time.Duration(w)*stats.WindowWidth(), time.Duration(w+1)*stats.WindowWidth()
+		row(fmt.Sprintf("w%d", w), stats.Window(w), stats.ServerSecondsIn(lo, hi))
+	}
+	row("all", stats.Total(), stats.ServerSeconds)
+	fig.Note("fleet peak=%d mean=%.2f launched=%d drained=%d | exec=$%.6f infra=$%.6f (%.0f server-s)",
+		stats.PeakServers, stats.MeanServers(), stats.Launched, stats.Drained,
+		stats.CostUSD, stats.InfraCostUSD, stats.ServerSeconds)
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, fig.Text())
+	if a.csvPath != "" {
+		if err := os.WriteFile(a.csvPath, []byte(fig.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", a.csvPath)
 	}
 	return nil
 }

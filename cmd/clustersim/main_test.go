@@ -70,3 +70,59 @@ func TestCompareSweepsEveryDispatchAndWritesCSV(t *testing.T) {
 		}
 	}
 }
+
+func TestAutoscaleArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad scale policy", []string{"-autoscale", "-scale-policy", "nope"}},
+		{"floor above cap", []string{"-autoscale", "-as-min", "5", "-servers", "3"}},
+		{"negative spinup", []string{"-autoscale", "-as-spinup", "-1s"}},
+		{"zero window", []string{"-autoscale", "-as-window", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(tc.args, &out); err == nil {
+				t.Errorf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestAutoscaleRunPrintsWindowsAndLedger(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-autoscale", "-as-min", "1", "-servers", "3", "-cores", "2",
+		"-sched", "fifo", "-minutes", "1", "-n", "80", "-as-window", "30s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"clustersim-autoscale", "server_s", "fleet timeline:", "infra=$", "all"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAutoscaleWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "as.csv")
+	var out strings.Builder
+	err := run([]string{
+		"-autoscale", "-servers", "2", "-cores", "2", "-sched", "fifo",
+		"-minutes", "1", "-n", "60", "-csv", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "exec_cost_usd") {
+		t.Errorf("CSV missing header: %s", data)
+	}
+}

@@ -191,6 +191,10 @@ type Result struct {
 	// ServerSeconds sums billed uptime across servers — the run's
 	// infrastructure cost in server-seconds.
 	ServerSeconds float64
+	// TicksFired / TicksElided aggregate the per-server enclaves' agent
+	// tick counters: boundaries actually woken vs boundaries the
+	// tick-elision pump proved no-op (ghost.Stats, DESIGN.md §9).
+	TicksFired, TicksElided int64
 	// Assignment maps each invocation index to its server, when
 	// Config.TrackAssignment was set.
 	Assignment []int
@@ -311,13 +315,14 @@ func (c *countingSink) Push(r metrics.Record) {
 // serverState is a Server plus the controller's runtime handles.
 type serverState struct {
 	Server
-	ch      chan cluster.Routed
-	done    chan struct{}
-	started bool
-	closed  bool
-	count   countingSink
-	err     error
-	simSpan time.Duration // kernel makespan, read after done
+	ch        chan cluster.Routed
+	done      chan struct{}
+	started   bool
+	closed    bool
+	count     countingSink
+	err       error
+	simSpan   time.Duration // kernel makespan, read after done
+	tickStats ghost.Stats   // enclave delegation counters, read after done
 }
 
 // run is the per-server goroutine: the shared streamed runner pulling
@@ -329,7 +334,7 @@ func (sv *serverState) run(cfg Config, policy ghost.Policy) {
 		r, ok := <-sv.ch
 		return r, ok
 	}
-	k, err := cluster.RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &sv.count)
+	k, err := cluster.RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &sv.count, &sv.tickStats)
 	if err != nil {
 		sv.err = err
 		for range sv.ch {
@@ -704,6 +709,8 @@ func (c *controller) finish(routed int) (*Result, error) {
 		res.Failed += sv.Failed
 		res.Preemptions += sv.Preemptions
 		res.ServerSeconds += sv.BilledSeconds()
+		res.TicksFired += sv.tickStats.Ticks
+		res.TicksElided += sv.tickStats.TicksElided
 		res.Servers = append(res.Servers, sv.Server)
 	}
 

@@ -249,9 +249,11 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []Routed) (ServerRe
 // and every completion is pushed into sink in completion order. Both the
 // fixed fleet (share slice) and the autoscale layer (routing channel) wrap
 // this one runner, so their per-server simulations are the same
-// computation by construction.
+// computation by construction. stats, when non-nil, receives the server
+// enclave's delegation counters (fired vs elided agent ticks) after the
+// run drains.
 func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config,
-	window time.Duration, next func() (Routed, bool), sink metrics.Sink) (*simkern.Kernel, error) {
+	window time.Duration, next func() (Routed, bool), sink metrics.Sink, stats *ghost.Stats) (*simkern.Kernel, error) {
 	pool := workload.NewTaskPool()
 	src := func() (*simkern.Task, bool) {
 		r, ok := next()
@@ -264,6 +266,7 @@ func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Conf
 		Window:  window,
 		Sink:    sink,
 		Recycle: func(t *simkern.Task) { pool.Put(t) },
+		Stats:   stats,
 	})
 }
 
@@ -282,7 +285,7 @@ func runStreamed(cfg Config, policy ghost.Policy, share []Routed) (*simkern.Kern
 		return r, true
 	}
 	var set metrics.Set
-	k, err := RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &set)
+	k, err := RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &set, nil)
 	if err != nil {
 		return nil, metrics.Set{}, err
 	}

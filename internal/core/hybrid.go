@@ -194,8 +194,8 @@ type Hybrid struct {
 }
 
 var (
-	_ ghost.Policy = (*Hybrid)(nil)
-	_ ghost.Ticker = (*Hybrid)(nil)
+	_ ghost.Policy        = (*Hybrid)(nil)
+	_ ghost.HorizonTicker = (*Hybrid)(nil)
 )
 
 // New returns a hybrid scheduler. Call Config.Validate against the target
@@ -308,6 +308,46 @@ func (h *Hybrid) TickEvery() time.Duration { return h.cfg.Tick }
 func (h *Hybrid) OnTick() {
 	h.enforceLimit()
 	h.cfsEng.Tick()
+}
+
+// NextDecision implements ghost.HorizonTicker: the earliest instant at
+// which OnTick could act, composed from the CFS engine's slice-expiry
+// horizon and the FIFO lane. Per FIFO core: a kernel-idle core next to a
+// non-empty global queue dispatches at the very next boundary (Dispatch
+// reads kernel state, so a completion whose TASK_DEAD is still in flight
+// already frees the core — the enclave re-evaluates at the completion
+// instant to catch exactly that); a FIFO-group runner crosses the time
+// limit once it consumes limit - consumedNow more CPU, i.e. no earlier
+// than max(now, segment start) + that remainder. Under host interference
+// consumption is slower, so the bound is conservative (an early tick
+// no-ops and re-arms); with the enclave owning its cores it is exact.
+func (h *Hybrid) NextDecision(now time.Duration) (time.Duration, bool) {
+	best, found := h.cfsEng.NextDecision(now)
+	queued := h.fifoEng.QueueLen() > 0
+	for _, c := range h.fifoEng.Cores() {
+		t := h.env.RunningTask(c)
+		if t == nil {
+			if queued {
+				return now, true
+			}
+			continue
+		}
+		if h.groups[t.ID] != groupFIFO {
+			continue // migration leftover from another group; not ours to limit
+		}
+		cross := now
+		if consumed := h.env.TaskCPUConsumed(t); consumed < h.limit {
+			start := t.SegmentStart()
+			if start < now {
+				start = now
+			}
+			cross = start + (h.limit - consumed)
+		}
+		if !found || cross < best {
+			best, found = cross, true
+		}
+	}
+	return best, found
 }
 
 // enforceLimit preempts FIFO-group runners whose consumed CPU exceeds the
@@ -448,6 +488,9 @@ func (h *Hybrid) migrateCFSToFIFO(now time.Duration) {
 	for _, t := range tasks {
 		h.cfsEng.Enqueue(t)
 	}
+	// Monitor timers bypass message dispatch, so the reshuffle above must
+	// re-arm the elision pump explicitly.
+	h.env.InvalidateHorizon()
 	h.beginMigration(now, c, func() {
 		h.fifoEng.AddCore(c) // dispatches queued FIFO work immediately
 	})
@@ -468,6 +511,9 @@ func (h *Hybrid) migrateFIFOToCFS(now time.Duration) {
 			h.requeueFIFOFront(got)
 		}
 	}
+	// Monitor timers bypass message dispatch, so the preempt/requeue above
+	// must re-arm the elision pump explicitly.
+	h.env.InvalidateHorizon()
 	h.beginMigration(now, c, func() {
 		h.cfsEng.AddCore(c)
 		h.cfsEng.Tick() // let the new empty queue pull work immediately
@@ -492,5 +538,8 @@ func (h *Hybrid) beginMigration(now time.Duration, c simkern.CoreID, done func()
 	h.env.SetTimer(now+h.cfg.MigrationDelay, func() {
 		h.migrating = false
 		done()
+		// The unlock callback moved a core between groups (and may have
+		// dispatched onto it) from a policy timer: re-arm the elision pump.
+		h.env.InvalidateHorizon()
 	})
 }

@@ -137,9 +137,9 @@ func ExtAutoscale(e *Env) (*Figure, error) {
 				fmt.Sprintf("%.2f", res.MeanServers()),
 				fmt.Sprintf("%.0f", res.ServerSeconds),
 				fmtUSD(serverTariff.Cost(res.ServerSeconds)))
-			fig.Note("%s/%s fleet: %s | peak=%d launched=%d drained=%d | fleet@%v edges: %s",
+			fig.Note("%s/%s fleet: %s | peak=%d launched=%d drained=%d | fleet@%v edges: %s | agent ticks: %s",
 				s.name, sc.name, res.Timeline(10), res.PeakServers, res.Launched(), res.Drained(),
-				width, fleetAtEdges(res, width, win.Windows()))
+				width, fleetAtEdges(res, width, win.Windows()), tickNote(res.TicksFired, res.TicksElided))
 		}
 	}
 	fig.Note("elastic fleet: %d..%d servers × %d cores, %v spin-up, drain-before-retire; dispatch=%s", minS, maxS, coresPer, spin, cluster.DispatchLeastLoaded)

@@ -122,7 +122,7 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 		"scheduler", "n", "p50_exec_ms", "p99_exec_ms", "p50_resp_ms", "p99_resp_ms",
 		"p99_turn_s", "preemptions", "makespan_s", "cost_usd")
 	for _, s := range schedulers {
-		win, makespan, err := e.RunStreamed(s.mk(), src)
+		win, makespan, ticks, err := e.RunStreamed(s.mk(), src)
 		if err != nil {
 			return nil, fmt.Errorf("ext-diurnal %s: %w", s.name, err)
 		}
@@ -147,6 +147,7 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 			fmtSec(float64(makespan)/float64(time.Second)),
 			fmtUSD(acc.Cost()))
 		fig.Note("%s per %v window | %s", s.name, win.Width(), windowTrack(win))
+		fig.Note("%s agent ticks: %s", s.name, tickNote(ticks.Ticks, ticks.TicksElided))
 	}
 	fig.Note("streaming dataflow: lazy admission + task recycling + fixed-memory accumulator sinks; quantiles are log-bucket histogram estimates")
 	fig.Note("volume: RateScale=1 (already-downscaled Azure-calibrated rate); horizon %d min of the 1440-min diurnal cycle (scale=%s, override with -minutes)", minutes, e.Scale)
@@ -179,16 +180,29 @@ func windowTrack(win *metrics.WindowedAccumulator) string {
 
 // RunStreamed executes one policy over the source through the streaming
 // pipeline with a fixed-memory windowed sink (width from diurnalWindow),
-// returning the sink and the makespan.
-func (e *Env) RunStreamed(policy ghost.Policy, src workload.Source) (*metrics.WindowedAccumulator, time.Duration, error) {
+// returning the sink, the makespan, and the enclave's delegation stats
+// (fired vs elided agent ticks).
+func (e *Env) RunStreamed(policy ghost.Policy, src workload.Source) (*metrics.WindowedAccumulator, time.Duration, ghost.Stats, error) {
 	win, err := metrics.NewWindowedAccumulator(e.Tariff, e.diurnalWindow())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, ghost.Stats{}, err
 	}
+	var st ghost.Stats
 	k, err := simrun.ExecStreamPooled(simkern.DefaultConfig(e.Cores), policy, ghost.Config{}, src,
-		simrun.StreamConfig{Sink: win})
+		simrun.StreamConfig{Sink: win, Stats: &st})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, ghost.Stats{}, err
 	}
-	return win, k.Makespan(), nil
+	return win, k.Makespan(), st, nil
+}
+
+// tickNote renders fired vs elided agent-tick counters: how much of the
+// naive every-boundary pump the tick-elision kernel skipped (DESIGN.md §9).
+func tickNote(fired, elided int64) string {
+	total := fired + elided
+	if total == 0 {
+		return "none (tickless policy)"
+	}
+	return fmt.Sprintf("fired=%d elided=%d (%.1f%% of boundaries skipped)",
+		fired, elided, 100*float64(elided)/float64(total))
 }

@@ -71,14 +71,39 @@ type Ticker interface {
 	OnTick()
 }
 
+// HorizonTicker is the tick-elision extension of Ticker (DESIGN.md §9):
+// the policy can compute, from its own state, the earliest future instant
+// at which OnTick could change scheduling state — CFS's next slice expiry,
+// the hybrid's next FIFO time-limit crossing, or "right now" when a core
+// sits idle next to queued work. The enclave then arms exactly one tick at
+// the first tick-grid boundary not before that horizon instead of waking
+// the policy at every boundary, and re-evaluates the horizon after every
+// message delivery (and on Env.InvalidateHorizon for policy-timer-driven
+// state changes). Every tick still fires on the identical phase grid the
+// naive pump would use, so elision is observationally invisible.
+//
+// NextDecision may be conservative (early) — an early tick is a no-op that
+// recomputes — but must never be late: any instant at which OnTick would
+// act must be covered. Policies using Env.AbortTask must not implement
+// HorizonTicker (aborts retire work without a TASK_DEAD; the Firecracker
+// fleet wrapper deliberately forwards only Ticker).
+type HorizonTicker interface {
+	Ticker
+	// NextDecision returns the earliest instant >= now at which OnTick
+	// could act given current state, or ok=false when no tick is needed
+	// until further notice.
+	NextDecision(now time.Duration) (deadline time.Duration, ok bool)
+}
+
 // Stats counts delegation activity, mirroring the bookkeeping the paper's
 // agents expose.
 type Stats struct {
-	Delivered  int64 // messages delivered to the policy
-	Commits    int64 // successful transactions (run or preempt)
-	Failed     int64 // failed transactions
-	Ticks      int64 // agent ticks fired
-	Migrations int64 // policy-reported core migrations (hybrid rightsizer)
+	Delivered   int64 // messages delivered to the policy
+	Commits     int64 // successful transactions (run or preempt)
+	Failed      int64 // failed transactions
+	Ticks       int64 // agent ticks fired
+	TicksElided int64 // tick boundaries skipped as provably no-op (horizon pump)
+	Migrations  int64 // policy-reported core migrations (hybrid rightsizer)
 }
 
 // Config configures an enclave.
@@ -89,6 +114,11 @@ type Config struct {
 	MsgLatency time.Duration
 	// NoLatency forces synchronous (zero-delay) message delivery.
 	NoLatency bool
+	// ForceTickPump disables tick elision: a HorizonTicker policy is
+	// driven through the naive every-boundary pump instead. Escape hatch
+	// for the equivalence oracle (TestTickElisionOracle) and for
+	// debugging suspected horizon bugs.
+	ForceTickPump bool
 }
 
 // DefaultMsgLatency is applied when Config.MsgLatency is zero and
@@ -106,6 +136,15 @@ const DefaultMsgLatency = 2 * time.Microsecond
 // the per-message scheme: the absorbed message's delivery would have held
 // the very next sequence number anyway, so nothing can fire between it
 // and its batch.
+//
+// Agent ticks run one of two pumps. Plain Ticker policies get the naive
+// pump: one tick per period while work is outstanding. HorizonTicker
+// policies get the tick-elision pump (DESIGN.md §9): the policy's
+// analytic next-decision horizon picks the single boundary worth waking
+// for, every other boundary is skipped, and Stats.TicksElided counts the
+// skips. Both pumps fire on the same phase grid, so the choice is
+// observationally invisible — TestGoldenDigests and the equivalence
+// oracle pin this.
 type Enclave struct {
 	kernel  *simkern.Kernel
 	policy  Policy
@@ -116,6 +155,21 @@ type Enclave struct {
 	tickFn      func() // persistent tick callback (no per-tick closure)
 	tickPending bool
 	env         *Env
+
+	// Horizon pump state (hticker non-nil selects it over the naive pump
+	// above; see ensureTick vs hRearm). The grid anchor reproduces the
+	// naive pump's phase exactly: it is set at the dispatch that would
+	// have armed the naive pump's first tick, survives idle gaps for as
+	// long as the naive pump would keep re-arming (outstanding work at
+	// every boundary), and dies at the same boundary the naive pump's
+	// ensureTick would decline to re-arm.
+	hticker   HorizonTicker
+	htickFn   func() // persistent horizon-tick callback
+	pumpAlive bool
+	anchor    time.Duration // grid origin; boundaries are anchor + k·period
+	armed     bool
+	nextArmed time.Duration // earliest pending armed boundary (valid when armed)
+	lastGrid  time.Duration // last fired boundary (or anchor), for elision stats
 
 	// Pending delivery queue: msgs[msgHead:] not yet dispatched, grouped
 	// into len(batches)-batchHead armed flush timers of the given sizes,
@@ -148,7 +202,10 @@ func NewEnclave(kernel *simkern.Kernel, policy Policy, cfg Config) (*Enclave, er
 	e := &Enclave{kernel: kernel, policy: policy, latency: latency}
 	e.env = &Env{enclave: e}
 	e.flushFn = e.flush
-	if tk, ok := policy.(Ticker); ok {
+	if ht, ok := policy.(HorizonTicker); ok && !cfg.ForceTickPump {
+		e.hticker = ht
+		e.htickFn = e.horizonTick
+	} else if tk, ok := policy.(Ticker); ok {
 		e.ticker = tk
 		e.tickFn = func() {
 			e.tickPending = false
@@ -175,7 +232,27 @@ func (e *Enclave) OnTaskArrived(t *simkern.Task) {
 
 // OnTaskFinished implements simkern.Handler: emit MsgTaskDead.
 func (e *Enclave) OnTaskFinished(t *simkern.Task, c simkern.CoreID) {
+	if e.hticker != nil && e.latency > 0 {
+		// A completion frees its kernel core (and may drain the machine)
+		// at the emission instant, MsgLatency before the policy hears of
+		// it — and a naive tick in that window would already act on the
+		// freed core (the hybrid's FIFO Dispatch reads kernel state). The
+		// horizon must therefore be re-evaluated now, and before the flush
+		// timer below is armed, so a tick landing on the same boundary as
+		// the delivery keeps the naive pump's tick-before-flush order.
+		e.hRearm()
+	}
 	e.deliver(Message{Type: MsgTaskDead, Task: t, Core: c, Sent: e.kernel.Now()})
+}
+
+// OnKernelDrained implements simkern.DrainHandler: an agent-initiated
+// abort just retired the last outstanding task without a TASK_DEAD. The
+// horizon pump's grid must get the chance to die at the same boundary the
+// naive pump's already-armed tick would find the machine empty.
+func (e *Enclave) OnKernelDrained() {
+	if e.hticker != nil {
+		e.hRearm()
+	}
 }
 
 func (e *Enclave) deliver(msg Message) {
@@ -200,6 +277,17 @@ func (e *Enclave) deliver(msg Message) {
 // flush dispatches the oldest armed batch. Batches fire strictly in
 // arming order (their due times and sequence numbers both increase).
 func (e *Enclave) flush() {
+	if e.hticker != nil && e.armed && e.nextArmed == e.kernel.Now() {
+		// A boundary tick due at this exact instant fires before the
+		// flush, whatever order the two events were armed in: the naive
+		// pump arms boundary b's tick at b-period (or at the pump-start
+		// dispatch), always earlier — hence with a smaller sequence
+		// number — than a flush armed at b-MsgLatency, so at equal
+		// instants the naive order is unconditionally tick-then-delivery.
+		// Horizon re-arms can land inside that MsgLatency window and
+		// would otherwise invert the tie.
+		e.horizonTick()
+	}
 	n := e.batches[e.batchHead]
 	e.batchHead++
 	for i := 0; i < n; i++ {
@@ -222,7 +310,11 @@ func (e *Enclave) flush() {
 func (e *Enclave) dispatch(msg Message) {
 	e.stats.Delivered++
 	e.policy.OnMessage(msg)
-	e.ensureTick()
+	if e.hticker != nil {
+		e.hDispatch()
+	} else {
+		e.ensureTick()
+	}
 }
 
 // ensureTick keeps the policy's periodic tick alive while work remains.
@@ -240,6 +332,101 @@ func (e *Enclave) ensureTick() {
 	}
 	e.tickPending = true
 	e.kernel.ScheduleFn(e.kernel.Now()+e.ticker.TickEvery(), e.tickFn)
+}
+
+// hDispatch is the horizon pump's post-message step: (re)start the pump
+// exactly where the naive pump would arm its first tick — a message
+// dispatch with outstanding work and no pump alive — then re-evaluate the
+// horizon. The anchor instant fixes the tick phase grid until the pump
+// dies, just as the naive pump's first ScheduleFn does.
+func (e *Enclave) hDispatch() {
+	if !e.pumpAlive {
+		if e.kernel.Outstanding() == 0 || e.hticker.TickEvery() <= 0 {
+			return
+		}
+		now := e.kernel.Now()
+		e.pumpAlive = true
+		e.anchor = now
+		e.lastGrid = now
+	}
+	e.hRearm()
+}
+
+// hRearm re-evaluates the decision horizon and arms (at most) one tick at
+// the first grid boundary covering it. With the machine drained it arms
+// the very next boundary instead: that is where the naive pump's
+// already-pending tick would fire, find nothing outstanding, and stop —
+// the grid must die (or survive, if work arrives first) at that exact
+// boundary or a later restart would re-phase differently.
+func (e *Enclave) hRearm() {
+	if !e.pumpAlive {
+		return
+	}
+	per := e.hticker.TickEvery()
+	if per <= 0 {
+		return
+	}
+	now := e.kernel.Now()
+	if e.kernel.Outstanding() == 0 {
+		e.armAt(e.boundaryFor(now, now, per))
+		return
+	}
+	if h, ok := e.hticker.NextDecision(now); ok {
+		if h < now {
+			h = now
+		}
+		e.armAt(e.boundaryFor(h, now, per))
+	}
+}
+
+// boundaryFor returns the first grid boundary (anchor + k·per, k >= 1)
+// that is >= h and strictly after now.
+func (e *Enclave) boundaryFor(h, now, per time.Duration) time.Duration {
+	k := time.Duration(1)
+	if h > e.anchor {
+		k = (h - e.anchor + per - 1) / per
+	}
+	t := e.anchor + k*per
+	for t <= now {
+		t += per
+	}
+	return t
+}
+
+// armAt schedules the horizon tick at boundary t unless an earlier (or
+// equal) armed tick already covers it. Ticks ride the uncancellable
+// ScheduleFn fast path, so superseded armings are not removed — the
+// firing-time guard in horizonTick discards them instead.
+func (e *Enclave) armAt(t time.Duration) {
+	if e.armed && e.nextArmed <= t {
+		return
+	}
+	e.armed = true
+	e.nextArmed = t
+	e.kernel.ScheduleFn(t, e.htickFn)
+}
+
+// horizonTick fires one elision-pump tick: skip superseded armings, run
+// OnTick at the boundary, account the boundaries elided since the last
+// fired tick, and either let the grid die (machine drained — mirroring
+// the naive pump's stop) or re-arm at the next horizon.
+func (e *Enclave) horizonTick() {
+	now := e.kernel.Now()
+	if !e.armed || now != e.nextArmed {
+		return // superseded by an earlier re-arm, or already fired
+	}
+	e.armed = false
+	if per := e.hticker.TickEvery(); per > 0 && now > e.lastGrid {
+		e.stats.TicksElided += int64((now-e.lastGrid)/per) - 1
+	}
+	e.lastGrid = now
+	e.stats.Ticks++
+	e.hticker.OnTick()
+	if e.kernel.Outstanding() == 0 {
+		e.pumpAlive = false
+		return
+	}
+	e.hRearm()
 }
 
 // Env is the operations handle a policy uses to inspect and control its
@@ -317,3 +504,14 @@ func (v *Env) AbortTask(t *simkern.Task) error { return v.enclave.kernel.AbortTa
 
 // NoteMigration lets a policy record a core migration in enclave stats.
 func (v *Env) NoteMigration() { v.enclave.stats.Migrations++ }
+
+// InvalidateHorizon tells the enclave that scheduling state changed
+// outside a message or tick — a policy-owned timer such as the hybrid's
+// monitor or a migration unlock — so the next-decision horizon must be
+// re-evaluated. No-op under the naive tick pump, and never moves the
+// tick phase grid (policy timers do not re-phase the naive pump either).
+func (v *Env) InvalidateHorizon() {
+	if v.enclave.hticker != nil {
+		v.enclave.hRearm()
+	}
+}

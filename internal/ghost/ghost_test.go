@@ -302,3 +302,324 @@ func (p *stampingPolicy) OnMessage(m Message) {
 	p.deliveredAt = append(p.deliveredAt, p.env.Now())
 	p.testPolicy.OnMessage(m)
 }
+
+// quantumPolicy is a minimal HorizonTicker: centralized FIFO with a
+// preemption quantum enforced at agent ticks, whose NextDecision is the
+// earliest quantum expiry (or "now" when queued work faces an idle core).
+// It is the smallest policy whose ticks both act and predictably no-op,
+// which is what the horizon pump tests need.
+type quantumPolicy struct {
+	env     *Env
+	quantum time.Duration
+	queue   []*simkern.Task
+	ticks   int
+	acted   []time.Duration // instants at which OnTick preempted something
+	park    simkern.TaskID  // task id held out of the queue (abort-drain test)
+}
+
+func (p *quantumPolicy) Name() string    { return "test-quantum" }
+func (p *quantumPolicy) Attach(env *Env) { p.env = env }
+
+func (p *quantumPolicy) OnMessage(m Message) {
+	if m.Type == MsgTaskNew && m.Task.ID != p.park {
+		p.queue = append(p.queue, m.Task)
+	}
+	p.dispatch()
+}
+
+func (p *quantumPolicy) dispatch() {
+	for c := simkern.CoreID(0); int(c) < p.env.Cores(); c++ {
+		if len(p.queue) == 0 {
+			return
+		}
+		if p.env.RunningTask(c) != nil {
+			continue
+		}
+		if err := p.env.CommitRun(c, p.queue[0]); err != nil {
+			continue
+		}
+		p.queue = p.queue[1:]
+	}
+}
+
+func (p *quantumPolicy) TickEvery() time.Duration { return time.Millisecond }
+
+func (p *quantumPolicy) OnTick() {
+	p.ticks++
+	now := p.env.Now()
+	for c := simkern.CoreID(0); int(c) < p.env.Cores(); c++ {
+		t := p.env.RunningTask(c)
+		if t == nil || now-t.SegmentStart() < p.quantum {
+			continue
+		}
+		got, err := p.env.CommitPreempt(c)
+		if err != nil {
+			continue
+		}
+		p.acted = append(p.acted, now)
+		p.queue = append(p.queue, got)
+	}
+	p.dispatch()
+}
+
+func (p *quantumPolicy) NextDecision(now time.Duration) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for c := simkern.CoreID(0); int(c) < p.env.Cores(); c++ {
+		t := p.env.RunningTask(c)
+		if t == nil {
+			if len(p.queue) > 0 {
+				return now, true
+			}
+			continue
+		}
+		h := t.SegmentStart() + p.quantum
+		if h < now {
+			h = now
+		}
+		if !found || h < best {
+			best, found = h, true
+		}
+	}
+	return best, found
+}
+
+// runQuantum drives tasks (built by mk, so each run gets fresh structs)
+// under one pump flavor and returns the policy and enclave stats.
+func runQuantum(t *testing.T, cores int, mk func() []*simkern.Task, force bool, finishAt *[]time.Duration) (*quantumPolicy, Stats) {
+	t.Helper()
+	k := newKernel(t, cores)
+	p := &quantumPolicy{quantum: 3 * time.Millisecond}
+	enclave, err := NewEnclave(k, p, Config{ForceTickPump: force})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := mk()
+	for _, task := range tasks {
+		if err := k.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d, want 0", k.Outstanding())
+	}
+	if finishAt != nil {
+		for _, task := range tasks {
+			*finishAt = append(*finishAt, task.Finish())
+		}
+	}
+	return p, enclave.Stats()
+}
+
+func sameDurations(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHorizonPumpEquivalence pins the core tick-elision claim at the
+// enclave level: the horizon pump preempts at exactly the instants the
+// naive pump does, finishes every task at the same time, and skips the
+// no-op boundaries in between.
+func TestHorizonPumpEquivalence(t *testing.T) {
+	mk := func() []*simkern.Task {
+		return []*simkern.Task{
+			{ID: 1, Work: 10 * time.Millisecond},
+			{ID: 2, Work: 7 * time.Millisecond},
+			{ID: 3, Work: 500 * time.Microsecond, Arrival: 4 * time.Millisecond},
+		}
+	}
+	var naiveFinish, elidedFinish []time.Duration
+	naive, naiveStats := runQuantum(t, 1, mk, true, &naiveFinish)
+	elided, elidedStats := runQuantum(t, 1, mk, false, &elidedFinish)
+
+	if !sameDurations(naive.acted, elided.acted) {
+		t.Fatalf("preemption instants diverge:\n  naive  %v\n  elided %v", naive.acted, elided.acted)
+	}
+	if len(naive.acted) == 0 {
+		t.Fatal("quantum never fired; test proves nothing")
+	}
+	if !sameDurations(naiveFinish, elidedFinish) {
+		t.Fatalf("finish times diverge:\n  naive  %v\n  elided %v", naiveFinish, elidedFinish)
+	}
+	if naiveStats.TicksElided != 0 {
+		t.Errorf("naive pump reported %d elided ticks", naiveStats.TicksElided)
+	}
+	if elidedStats.TicksElided == 0 {
+		t.Error("horizon pump elided nothing")
+	}
+	if elidedStats.Ticks >= naiveStats.Ticks {
+		t.Errorf("horizon pump fired %d ticks, naive %d — nothing saved", elidedStats.Ticks, naiveStats.Ticks)
+	}
+	// Every boundary is accounted for: fired + elided covers the same span
+	// the naive pump ticked through, at most off by the final boundary the
+	// naive pump spends discovering the machine drained.
+	if total := elidedStats.Ticks + elidedStats.TicksElided; total > naiveStats.Ticks || total < naiveStats.Ticks-1 {
+		t.Errorf("fired %d + elided %d boundaries vs %d naive ticks", elidedStats.Ticks, elidedStats.TicksElided, naiveStats.Ticks)
+	}
+}
+
+// TestHorizonPumpGridSurvivesIdleGap covers the §7 boundary condition: a
+// not-yet-arrived task keeps the machine "outstanding" through a fully
+// idle gap, so the naive pump ticks straight through and its phase grid
+// never re-anchors. The horizon pump must skip the whole gap yet preempt
+// the late task's overrun at the identical grid instant.
+func TestHorizonPumpGridSurvivesIdleGap(t *testing.T) {
+	mk := func() []*simkern.Task {
+		return []*simkern.Task{
+			// Arrivals at 250µs put the tick grid off the ms lattice: the
+			// preemption boundary below lands mid-period, so a re-anchored
+			// (wrong) grid would preempt at a different instant.
+			{ID: 1, Work: 2 * time.Millisecond, Arrival: 250 * time.Microsecond},
+			// 40ms gap with nothing runnable, then two tasks contending.
+			{ID: 2, Work: 9 * time.Millisecond, Arrival: 42 * time.Millisecond},
+			{ID: 3, Work: 9 * time.Millisecond, Arrival: 42*time.Millisecond + 100*time.Microsecond},
+		}
+	}
+	naive, naiveStats := runQuantum(t, 1, mk, true, nil)
+	elided, elidedStats := runQuantum(t, 1, mk, false, nil)
+	if !sameDurations(naive.acted, elided.acted) {
+		t.Fatalf("preemption instants diverge across the idle gap:\n  naive  %v\n  elided %v", naive.acted, elided.acted)
+	}
+	if len(naive.acted) == 0 {
+		t.Fatal("quantum never fired; test proves nothing")
+	}
+	// The gap is ~40 boundaries the naive pump burned and the horizon pump
+	// must have skipped.
+	if gapSaved := elidedStats.TicksElided; gapSaved < 30 {
+		t.Errorf("elided only %d boundaries across a 40ms idle gap", gapSaved)
+	}
+	if elidedStats.Ticks >= naiveStats.Ticks/2 {
+		t.Errorf("horizon pump fired %d of naive's %d ticks across an idle gap", elidedStats.Ticks, naiveStats.Ticks)
+	}
+}
+
+// TestHorizonPumpDiesAndReanchors covers the complementary lifecycle: the
+// machine fully drains (outstanding hits zero), the grid dies at the same
+// boundary the naive pump's last tick stops re-arming, and a later
+// mid-run AddTask re-anchors both pumps at the same new phase.
+func TestHorizonPumpDiesAndReanchors(t *testing.T) {
+	run := func(force bool) (*quantumPolicy, Stats) {
+		k := newKernel(t, 1)
+		p := &quantumPolicy{quantum: 3 * time.Millisecond}
+		enclave, err := NewEnclave(k, p, Config{ForceTickPump: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.AddTask(&simkern.Task{ID: 1, Work: 4 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		// Long after the first task drains (pump dead), two contending
+		// tasks appear off the old grid phase.
+		p.env.SetTimer(30*time.Millisecond+700*time.Microsecond, func() {
+			for id := simkern.TaskID(2); id <= 3; id++ {
+				if err := p.env.AddTask(&simkern.Task{ID: id, Work: 8 * time.Millisecond}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if _, err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if k.Outstanding() != 0 {
+			t.Fatalf("outstanding = %d, want 0", k.Outstanding())
+		}
+		return p, enclave.Stats()
+	}
+	naive, _ := run(true)
+	elided, elidedStats := run(false)
+	if !sameDurations(naive.acted, elided.acted) {
+		t.Fatalf("preemption instants diverge after pump death/restart:\n  naive  %v\n  elided %v", naive.acted, elided.acted)
+	}
+	if len(naive.acted) == 0 {
+		t.Fatal("quantum never fired; test proves nothing")
+	}
+	if elidedStats.TicksElided == 0 {
+		t.Error("horizon pump elided nothing")
+	}
+}
+
+// TestForceTickPumpDisablesElision pins the escape hatch: a HorizonTicker
+// policy under ForceTickPump runs the naive pump (one tick per boundary,
+// nothing elided).
+func TestForceTickPumpDisablesElision(t *testing.T) {
+	mk := func() []*simkern.Task {
+		return []*simkern.Task{{ID: 1, Work: 10 * time.Millisecond}}
+	}
+	p, st := runQuantum(t, 1, mk, true, nil)
+	if st.TicksElided != 0 {
+		t.Errorf("TicksElided = %d under ForceTickPump", st.TicksElided)
+	}
+	if p.ticks < 8 {
+		t.Errorf("forced naive pump ticked only %d times over 10ms", p.ticks)
+	}
+}
+
+// TestHorizonPumpAbortDrain drives the simkern.DrainHandler path: the
+// machine's last outstanding task is retired by Env.AbortTask from a
+// policy timer — no TASK_DEAD, no message dispatch — so the drain hook is
+// the only thing that lets the elision pump's grid die at the boundary
+// the naive pump's pending tick would. Work added after the drain must
+// then re-anchor both pumps at the same new phase, which the preemption
+// instants of a contending pair pin exactly.
+func TestHorizonPumpAbortDrain(t *testing.T) {
+	run := func(force bool) (*quantumPolicy, Stats) {
+		k := newKernel(t, 1)
+		p := &quantumPolicy{quantum: 3 * time.Millisecond}
+		enclave, err := NewEnclave(k, p, Config{ForceTickPump: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.AddTask(&simkern.Task{ID: 1, Work: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		// Task 2 arrives at 2ms but is parked outside the policy queue, so
+		// it stays Runnable until the abort below retires it.
+		parked := &simkern.Task{ID: 2, Work: time.Millisecond, Arrival: 2 * time.Millisecond}
+		if err := k.AddTask(parked); err != nil {
+			t.Fatal(err)
+		}
+		p.park = parked.ID
+		p.env.SetTimer(5*time.Millisecond, func() {
+			if err := p.env.AbortTask(parked); err != nil {
+				t.Fatalf("AbortTask: %v", err)
+			}
+		})
+		// Off-phase restart long after the drain: two contending tasks
+		// whose quantum preemptions expose the re-anchored grid.
+		p.env.SetTimer(20*time.Millisecond+300*time.Microsecond, func() {
+			for id := simkern.TaskID(3); id <= 4; id++ {
+				if err := p.env.AddTask(&simkern.Task{ID: id, Work: 8 * time.Millisecond}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if _, err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if k.Outstanding() != 0 {
+			t.Fatalf("outstanding = %d, want 0", k.Outstanding())
+		}
+		return p, enclave.Stats()
+	}
+	naive, _ := run(true)
+	elided, elidedStats := run(false)
+	if !sameDurations(naive.acted, elided.acted) {
+		t.Fatalf("preemption instants diverge after an abort-drained grid:\n  naive  %v\n  elided %v", naive.acted, elided.acted)
+	}
+	if len(naive.acted) == 0 {
+		t.Fatal("quantum never fired; test proves nothing")
+	}
+	if elidedStats.TicksElided == 0 {
+		t.Error("horizon pump elided nothing")
+	}
+}

@@ -373,6 +373,49 @@ func (e *Engine) Tick() {
 	}
 }
 
+// NextDecision computes the earliest instant at which Tick could change
+// scheduling state — the tick-elision horizon (ghost.HorizonTicker,
+// DESIGN.md §9). Per runqueue: an idle core next to any queued task acts
+// at the very next boundary (pickNext / idle balance); a runner with an
+// empty tree holds its core indefinitely; otherwise the runner's slice
+// expires at sliceStart + slice(rq), exact in wall time regardless of
+// interference. Engine state only changes inside message handling, ticks,
+// or the hybrid's monitor callbacks — all of which re-evaluate the
+// horizon — so the minimum below stays valid until the next re-evaluation.
+// A runner whose completion message is still in flight contributes a
+// horizon whose tick then fails its preempt harmlessly, exactly as the
+// naive pump's boundary tick would.
+func (e *Engine) NextDecision(now time.Duration) (time.Duration, bool) {
+	queued := false
+	for _, rq := range e.list {
+		if rq.tree.Len() > 0 {
+			queued = true
+			break
+		}
+	}
+	var best time.Duration
+	found := false
+	for _, rq := range e.list {
+		if rq.curr == nil {
+			if queued {
+				return now, true
+			}
+			continue
+		}
+		if rq.tree.Len() == 0 {
+			continue // sole runnable task keeps the core
+		}
+		h := rq.sliceStart + e.slice(rq)
+		if h < now {
+			h = now
+		}
+		if !found || h < best {
+			best, found = h, true
+		}
+	}
+	return best, found
+}
+
 // slice returns the current time slice for rq's runner.
 func (e *Engine) slice(rq *runqueue) time.Duration {
 	n := rq.nrRunning()
@@ -401,8 +444,8 @@ type Policy struct {
 }
 
 var (
-	_ ghost.Policy = (*Policy)(nil)
-	_ ghost.Ticker = (*Policy)(nil)
+	_ ghost.Policy        = (*Policy)(nil)
+	_ ghost.HorizonTicker = (*Policy)(nil)
 )
 
 // New returns a standalone CFS policy.
@@ -437,3 +480,8 @@ func (p *Policy) TickEvery() time.Duration { return p.params.Tick }
 
 // OnTick implements ghost.Ticker.
 func (p *Policy) OnTick() { p.engine.Tick() }
+
+// NextDecision implements ghost.HorizonTicker.
+func (p *Policy) NextDecision(now time.Duration) (time.Duration, bool) {
+	return p.engine.NextDecision(now)
+}

@@ -71,6 +71,16 @@ type Handler interface {
 	OnTaskFinished(t *Task, c CoreID)
 }
 
+// DrainHandler is an optional Handler extension: OnKernelDrained fires
+// when the outstanding count reaches zero through a path that emits no
+// handler notification — today only AbortTask (completions already notify
+// via OnTaskFinished). The delegation layer's tick-elision pump relies on
+// it to keep its tick-grid lifecycle exact when an agent aborts the last
+// outstanding task.
+type DrainHandler interface {
+	OnKernelDrained()
+}
+
 // core is the kernel-internal per-CPU state.
 type core struct {
 	id   CoreID
@@ -372,6 +382,11 @@ func (k *Kernel) AbortTask(t *Task) error {
 	}
 	t.state = StateFailed
 	k.finished++
+	if k.Outstanding() == 0 {
+		if dh, ok := k.handler.(DrainHandler); ok {
+			dh.OnKernelDrained()
+		}
+	}
 	return nil
 }
 

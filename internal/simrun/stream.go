@@ -48,6 +48,10 @@ type StreamConfig struct {
 	// is sinked — the hook that returns structs to a workload.TaskPool.
 	// Leave nil to let finished tasks be garbage collected.
 	Recycle func(*simkern.Task)
+	// Stats, when non-nil, receives a snapshot of the enclave's delegation
+	// stats after the run drains — the fired vs elided agent-tick counters
+	// the long-horizon experiments report.
+	Stats *ghost.Stats
 }
 
 // ExecStream is Exec's streaming sibling: build a kernel (task retention
@@ -78,7 +82,8 @@ func ExecStream(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, src
 		return nil, err
 	}
 	wrapped := wrapRetirer(policy, cfg.Sink, cfg.Recycle)
-	if _, err := ghost.NewEnclave(k, wrapped, gcfg); err != nil {
+	enc, err := ghost.NewEnclave(k, wrapped, gcfg)
+	if err != nil {
 		return nil, err
 	}
 	f := &feeder{k: k, next: src, window: cfg.Window}
@@ -94,6 +99,9 @@ func ExecStream(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, src
 	}
 	if n := k.Outstanding(); n != 0 {
 		return nil, fmt.Errorf("simrun: %d tasks unfinished under %s", n, policy.Name())
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = enc.Stats()
 	}
 	return k, nil
 }
@@ -220,8 +228,23 @@ func (r *tickingRetirer) TickEvery() time.Duration { return r.ticker.TickEvery()
 // OnTick implements ghost.Ticker.
 func (r *tickingRetirer) OnTick() { r.ticker.OnTick() }
 
+// horizonRetirer additionally forwards ghost.HorizonTicker, so a wrapped
+// CFS/hybrid policy keeps its tick-elision pump on the streaming path.
+type horizonRetirer struct {
+	tickingRetirer
+	horizon ghost.HorizonTicker
+}
+
+// NextDecision implements ghost.HorizonTicker.
+func (r *horizonRetirer) NextDecision(now time.Duration) (time.Duration, bool) {
+	return r.horizon.NextDecision(now)
+}
+
 func wrapRetirer(policy ghost.Policy, sink metrics.Sink, recycle func(*simkern.Task)) ghost.Policy {
 	base := retirer{inner: policy, sink: sink, recycle: recycle}
+	if ht, ok := policy.(ghost.HorizonTicker); ok {
+		return &horizonRetirer{tickingRetirer: tickingRetirer{retirer: base, ticker: ht}, horizon: ht}
+	}
 	if tk, ok := policy.(ghost.Ticker); ok {
 		return &tickingRetirer{retirer: base, ticker: tk}
 	}

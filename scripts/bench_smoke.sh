@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI guard for the tick-elision event kernel (DESIGN.md §9): runs
+# BenchmarkCFSSimulation once and fails if its events/run metric climbs
+# back above a generous ceiling — i.e. if a change accidentally
+# reintroduces the every-boundary tick pump. The elided kernel runs the
+# 500-task benchmark in ~4k events; the naive pump needs ~137k; the
+# default ceiling of 40000 leaves ~10x headroom for legitimate workload
+# or policy changes while still catching a pump regression outright.
+#
+#   ./scripts/bench_smoke.sh          # default ceiling
+#   ./scripts/bench_smoke.sh 60000    # custom ceiling
+set -e
+cd "$(dirname "$0")/.."
+CEILING="${1:-40000}"
+
+out=$(go test -run '^$' -bench 'BenchmarkCFSSimulation$' -benchtime 1x .)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk -v ceiling="$CEILING" '
+  /^BenchmarkCFSSimulation/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "events/run") v = $i
+  }
+  END {
+    if (v == "") { print "bench_smoke: no events/run metric found"; exit 1 }
+    if (v + 0 > ceiling + 0) {
+      printf "bench_smoke: events/run %s exceeds ceiling %s — tick pump regression?\n", v, ceiling
+      exit 1
+    }
+    printf "bench_smoke: events/run %s within ceiling %s\n", v, ceiling
+  }'
