@@ -351,3 +351,44 @@ func BenchmarkFacadeSimulate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkColdStartDispatch measures what the warm-instance model adds to
+// the cluster routing path: the same fleet and workload with the model
+// off, on (pool bookkeeping per routed invocation), and on with warm-first
+// dispatch (a pool scan on every pick). The disabled case doubles as the
+// zero-cost check: the model off must price the same as before it existed.
+func BenchmarkColdStartDispatch(b *testing.B) {
+	invs, err := BuildWorkload(WorkloadSpec{Minutes: 1, MaxInvocations: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cs   ColdStartOptions
+	}{
+		{"disabled", ColdStartOptions{}},
+		{"enabled", ColdStartOptions{Latency: DefaultColdStartLatency, KeepAlive: DefaultKeepAlive}},
+		{"warm_first", ColdStartOptions{Latency: DefaultColdStartLatency, KeepAlive: DefaultKeepAlive, WarmFirst: true}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := SimulateCluster(ClusterOptions{
+					Servers:        4,
+					CoresPerServer: 4,
+					Dispatch:       DispatchLeastLoaded,
+					Scheduler:      SchedulerFIFO,
+					ColdStart:      tc.cs,
+				}, invs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Set.Records) != len(invs) {
+					b.Fatalf("simulated %d of %d", len(res.Set.Records), len(invs))
+				}
+			}
+			b.ReportMetric(float64(len(invs)), "invocations")
+		})
+	}
+}

@@ -62,12 +62,32 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Sprintf("autoscale: scaling policy %v", faassched.ScalePolicies()))
 		asSpinUp = fs.Duration("as-spinup", 0, "autoscale: server spin-up latency (0 = default 30s)")
 		asWindow = fs.Duration("as-window", 10*time.Minute, "autoscale: per-window metrics width")
+
+		csLatency = fs.Duration("coldstart-latency", 0, "per-function cold-start latency (0 = model disabled)")
+		keepAlive = fs.Duration("keepalive", faassched.DefaultKeepAlive, "warm-instance keep-alive TTL (<= 0 = never evict; needs -coldstart-latency)")
+		csPoolMB  = fs.Int("coldstart-pool-mb", 0, "per-server warm-pool memory bound in MB (0 = unbounded)")
+		warmFirst = fs.Bool("warm-first", false, "prefer servers holding a warm instance, fall back to -dispatch for cold placement")
 	)
 	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
-	// Validate autoscale arguments up front, faasbench-style, so scripts
-	// fail with the full list of valid values before any simulation runs.
+	// Validate arguments up front, faasbench-style, so scripts fail with
+	// the full list of valid values before any simulation runs.
+	if *csLatency < 0 {
+		return fmt.Errorf("-coldstart-latency %v must be >= 0 (0 = disabled)", *csLatency)
+	}
+	if *csPoolMB < 0 {
+		return fmt.Errorf("-coldstart-pool-mb %d must be >= 0 (0 = unbounded)", *csPoolMB)
+	}
+	if (*warmFirst || *csPoolMB > 0) && *csLatency == 0 {
+		return fmt.Errorf("-warm-first and -coldstart-pool-mb need the cold-start model: set -coldstart-latency > 0")
+	}
+	coldStart := faassched.ColdStartOptions{
+		Latency:   *csLatency,
+		KeepAlive: *keepAlive,
+		PoolMemMB: *csPoolMB,
+		WarmFirst: *warmFirst,
+	}
 	if *asMode {
 		known := false
 		for _, p := range faassched.ScalePolicies() {
@@ -107,6 +127,7 @@ func run(args []string, stdout io.Writer) error {
 			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
 			policy: faassched.ScalePolicy(*asPolicy), spinUp: *asSpinUp, window: *asWindow,
 			seed: *seed, fifoCores: *fifoCores, limit: *limit, csvPath: *csvPath,
+			coldStart: coldStart,
 		})
 	}
 
@@ -129,6 +150,7 @@ func run(args []string, stdout io.Writer) error {
 			Seed:           *seed,
 			FIFOCores:      *fifoCores,
 			TimeLimit:      *limit,
+			ColdStart:      coldStart,
 		}, invs)
 		if err != nil {
 			return err
@@ -150,6 +172,11 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Sprintf("%.1f", res.Makespan.Seconds()),
 		)
 		fmt.Fprintf(stdout, "# %-16s simulated in %s | %s\n", d, time.Since(start).Round(time.Millisecond), res.Summary())
+		if coldStart.Enabled() {
+			n, done := res.Set.ColdStarts(), len(res.Set.Completed())
+			fmt.Fprintf(stdout, "# cold starts: %d of %d completed (%.2f%%)\n",
+				n, done, 100*float64(n)/float64(max(done, 1)))
+		}
 		if !*compare {
 			printPerServer(stdout, res)
 		}
@@ -176,6 +203,7 @@ type autoscaleArgs struct {
 	fifoCores       int
 	limit           time.Duration
 	csvPath         string
+	coldStart       faassched.ColdStartOptions
 }
 
 // runAutoscale is the one-off elastic-fleet entry point (ROADMAP item):
@@ -195,6 +223,7 @@ func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs
 		ScalePolicy:    a.policy,
 		SpinUp:         a.spinUp,
 		MetricsWindow:  a.window,
+		ColdStart:      a.coldStart,
 	}, faassched.SliceSource(invs))
 	if err != nil {
 		return err
@@ -228,6 +257,9 @@ func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs
 	fig.Note("fleet peak=%d mean=%.2f launched=%d drained=%d | exec=$%.6f infra=$%.6f (%.0f server-s)",
 		stats.PeakServers, stats.MeanServers(), stats.Launched, stats.Drained,
 		stats.CostUSD, stats.InfraCostUSD, stats.ServerSeconds)
+	if a.coldStart.Enabled() {
+		fig.Note("cold starts: %d (retiring a server destroys its warm pool)", stats.ColdStarts)
+	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, fig.Text())
 	if a.csvPath != "" {

@@ -19,6 +19,10 @@ func TestArgumentErrors(t *testing.T) {
 		{"bad servers", []string{"-servers", "-3", "-minutes", "1", "-n", "50"}},
 		{"positional args", []string{"extra"}},
 		{"missing workload file", []string{"-workload", "/nonexistent/w.csv"}},
+		{"negative coldstart latency", []string{"-coldstart-latency", "-1s", "-minutes", "1", "-n", "50"}},
+		{"negative coldstart pool", []string{"-coldstart-pool-mb", "-1", "-minutes", "1", "-n", "50"}},
+		{"warm-first without model", []string{"-warm-first", "-minutes", "1", "-n", "50"}},
+		{"pool bound without model", []string{"-coldstart-pool-mb", "512", "-minutes", "1", "-n", "50"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -124,5 +128,43 @@ func TestAutoscaleWritesCSV(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "exec_cost_usd") {
 		t.Errorf("CSV missing header: %s", data)
+	}
+}
+
+// TestColdStartFlagsFixedFleet: the warm-instance model through the CLI
+// on a fixed fleet — the cold-start summary line appears, and warm-first
+// runs clean on top of any dispatch policy.
+func TestColdStartFlagsFixedFleet(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-servers", "2", "-cores", "2", "-sched", "fifo",
+		"-dispatch", "least-loaded", "-minutes", "1", "-n", "80",
+		"-coldstart-latency", "100ms", "-keepalive", "30s", "-warm-first",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "cold starts:") {
+		t.Errorf("output missing cold-start summary: %q", text)
+	}
+	if strings.Contains(text, "cold starts: 0 of") {
+		t.Error("cold-start model enabled but no invocation went cold")
+	}
+}
+
+// TestColdStartFlagsAutoscale: same model through the elastic fleet path.
+func TestColdStartFlagsAutoscale(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-autoscale", "-as-min", "1", "-servers", "3", "-cores", "2",
+		"-sched", "fifo", "-minutes", "1", "-n", "120",
+		"-as-window", "20s", "-coldstart-latency", "100ms", "-keepalive", "10s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cold starts:") {
+		t.Errorf("output missing cold-start note: %q", out.String())
 	}
 }

@@ -37,6 +37,9 @@ func run(args []string, stdout io.Writer) error {
 		asMin      = fs.Int("as-min", 0, "override the ext-autoscale fleet floor (0 = scale default)")
 		asMax      = fs.Int("as-max", 0, "override the ext-autoscale fleet cap (0 = scale default)")
 		asSpinUp   = fs.Duration("as-spinup", 0, "override the ext-autoscale server spin-up latency (0 = default 30s)")
+		csLatency  = fs.Duration("coldstart-latency", 0, "override the ext-coldstart instance spin-up latency (0 = default 250ms)")
+		keepAlive  = fs.Duration("keepalive", 0, "pin ext-coldstart to one keep-alive TTL instead of the sweep (0 = sweep, negative = infinite)")
+		csPoolMB   = fs.Int("coldstart-pool-mb", 0, "bound each server's ext-coldstart warm-pool memory in MB (0 = unbounded)")
 		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")
@@ -73,6 +76,12 @@ func run(args []string, stdout io.Writer) error {
 	if *asSpinUp < 0 {
 		return fmt.Errorf("-as-spinup %v must be >= 0 (0 = default)", *asSpinUp)
 	}
+	if *csLatency < 0 {
+		return fmt.Errorf("-coldstart-latency %v must be >= 0 (0 = default)", *csLatency)
+	}
+	if *csPoolMB < 0 {
+		return fmt.Errorf("-coldstart-pool-mb %d must be >= 0 (0 = unbounded)", *csPoolMB)
+	}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
@@ -94,6 +103,9 @@ func run(args []string, stdout io.Writer) error {
 	env.AutoscaleMin = *asMin
 	env.AutoscaleMax = *asMax
 	env.AutoscaleSpinUp = *asSpinUp
+	env.ColdStartLatency = *csLatency
+	env.ColdKeepAlive = *keepAlive
+	env.ColdPoolMB = *csPoolMB
 	fmt.Fprintf(stdout, "# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
 	for _, id := range ids {
 		start := time.Now()

@@ -32,6 +32,8 @@ func TestArgumentErrors(t *testing.T) {
 		{"negative as-max", []string{"-as-max", "-2"}},
 		{"as-min above as-max", []string{"-as-min", "8", "-as-max", "2"}},
 		{"negative spin-up", []string{"-as-spinup", "-10s"}},
+		{"negative coldstart latency", []string{"-coldstart-latency", "-1s"}},
+		{"negative coldstart pool", []string{"-coldstart-pool-mb", "-64"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -127,6 +129,37 @@ func TestAutoscaleExperimentCLI(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+// TestColdStartExperimentCLI runs the warm-start economics experiment end
+// to end through the CLI: a pinned keep-alive collapses the sweep to one
+// TTL and the cold-start columns reach the output.
+func TestColdStartExperimentCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out strings.Builder
+	args := []string{"-experiment", "ext-coldstart", "-scale", "quick",
+		"-coldstart-latency", "100ms", "-keepalive", "30s", "-coldstart-pool-mb", "4096"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ext-coldstart done") {
+		t.Errorf("output missing completion marker: %q", text)
+	}
+	for _, want := range []string{"ttl_s", "cold_rate_pct", "warm_hit_pct", "warm-first", "least-loaded"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The pinned TTL collapses the sweep: exactly one ttl value, 30.
+	if strings.Contains(text, "inf ") {
+		t.Error("pinned -keepalive still swept the infinite TTL")
+	}
+	if !strings.Contains(text, "30") {
+		t.Error("pinned TTL missing from output")
 	}
 }
 

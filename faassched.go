@@ -492,6 +492,19 @@ const (
 // Dispatches lists every selectable dispatch policy.
 func Dispatches() []Dispatch { return cluster.Dispatches() }
 
+// ColdStartOptions re-exports the per-function warm-instance model
+// configuration: a cold placement pays Latency as extra service demand,
+// a finished instance stays warm for KeepAlive, each server retains at
+// most PoolMemMB of instance memory, and WarmFirst makes the dispatcher
+// prefer warm candidates. The zero value disables the model entirely.
+type ColdStartOptions = cluster.ColdStartConfig
+
+// Cold-start model defaults.
+const (
+	DefaultColdStartLatency = cluster.DefaultColdStartLatency
+	DefaultKeepAlive        = cluster.DefaultKeepAlive
+)
+
 // ClusterOptions configures a fleet simulation: Servers identical machines
 // of CoresPerServer cores each, every one running Scheduler, with Dispatch
 // routing each invocation to a server at its arrival time.
@@ -516,6 +529,9 @@ type ClusterOptions struct {
 	// gap caveat on SimulateStreamed); per-server peak memory drops to
 	// active tasks + look-ahead window.
 	Streamed bool
+	// ColdStart configures the per-function warm-instance model. The zero
+	// value disables it and reproduces the pre-model results exactly.
+	ColdStart ColdStartOptions
 }
 
 // ServerResult re-exports one server's share of a fleet simulation.
@@ -584,11 +600,12 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		return nil, err
 	}
 	cres, err := cluster.Simulate(cluster.Config{
-		Servers:  opts.Servers,
-		Dispatch: opts.Dispatch,
-		Seed:     opts.Seed,
-		Streamed: opts.Streamed,
-		Kernel:   simkern.DefaultConfig(opts.CoresPerServer),
+		Servers:   opts.Servers,
+		Dispatch:  opts.Dispatch,
+		Seed:      opts.Seed,
+		Streamed:  opts.Streamed,
+		ColdStart: opts.ColdStart,
+		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
 			if err != nil {
@@ -664,6 +681,9 @@ type AutoscaleOptions struct {
 	// MetricsWindow is the width of the per-window sub-accumulators in
 	// SimulateAutoscaled's result. Zero means one hour.
 	MetricsWindow time.Duration
+	// ColdStart configures the per-function warm-instance model; retiring
+	// a server destroys its warm pool. The zero value disables the model.
+	ColdStart ColdStartOptions
 }
 
 // autoscaleConfig resolves opts into the internal autoscaler config.
@@ -694,13 +714,14 @@ func autoscaleConfig(opts AutoscaleOptions) (AutoscaleOptions, autoscale.Config,
 		return opts, autoscale.Config{}, err
 	}
 	return opts, autoscale.Config{
-		Min:      opts.MinServers,
-		Max:      opts.MaxServers,
-		Policy:   opts.ScalePolicy,
-		SpinUp:   opts.SpinUp,
-		Dispatch: opts.Dispatch,
-		Seed:     opts.Seed,
-		Kernel:   simkern.DefaultConfig(opts.CoresPerServer),
+		Min:       opts.MinServers,
+		Max:       opts.MaxServers,
+		Policy:    opts.ScalePolicy,
+		SpinUp:    opts.SpinUp,
+		Dispatch:  opts.Dispatch,
+		Seed:      opts.Seed,
+		ColdStart: opts.ColdStart,
+		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Sched: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
 			if err != nil {
@@ -726,6 +747,9 @@ type AutoscaleStats struct {
 	Failed    int
 	// Preemptions is the fleet-wide task preemption count.
 	Preemptions int
+	// ColdStarts counts routed invocations that paid the instance
+	// spin-up penalty (zero with the cold-start model disabled).
+	ColdStarts int
 	// Makespan is the fleet-wide last completion time.
 	Makespan time.Duration
 	// CostUSD bills every completed invocation at its own memory size —
@@ -807,6 +831,7 @@ func SimulateAutoscaled(opts AutoscaleOptions, src Source) (*AutoscaleStats, err
 		Completed:     res.Completed,
 		Failed:        res.Failed,
 		Preemptions:   res.Preemptions,
+		ColdStarts:    res.ColdStarts,
 		Makespan:      res.Makespan,
 		CostUSD:       merged.Total().Cost(),
 		ServerSeconds: res.ServerSeconds,

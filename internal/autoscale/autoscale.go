@@ -89,6 +89,12 @@ type Config struct {
 	// TrackAssignment records the global invocation→server assignment in
 	// Result.Assignment (O(invocations) memory; leave off for long runs).
 	TrackAssignment bool
+	// ColdStart configures the per-function warm-instance model
+	// (cluster.ColdStartConfig; DESIGN.md §10). Retiring a server —
+	// drained or canceled — destroys its warm pool, so scale-to-zero
+	// carries a genuine re-warm penalty. The zero value disables the
+	// model and leaves every decision byte-for-byte unchanged.
+	ColdStart cluster.ColdStartConfig
 }
 
 // EventKind classifies a scale event.
@@ -157,6 +163,9 @@ type Server struct {
 	// retired records (their sum always equals Routed — drain-before-
 	// retire never drops an admitted task).
 	Routed, Completed, Failed int
+	// ColdStarts counts routed invocations that paid the instance
+	// spin-up penalty here (zero with the cold-start model disabled).
+	ColdStarts int
 	// Preemptions sums preemption counts over this server's records.
 	Preemptions int
 	// Makespan is this server's last completion instant (zero if it never
@@ -182,6 +191,9 @@ type Result struct {
 	// Routed counts dispatched invocations; Completed + Failed always
 	// equals Routed.
 	Routed, Completed, Failed int
+	// ColdStarts counts routed invocations that paid the instance
+	// spin-up penalty (zero with the cold-start model disabled).
+	ColdStarts int
 	// Preemptions sums preemptions across the fleet.
 	Preemptions int
 	// Makespan is the fleet-wide last completion instant.
@@ -350,6 +362,7 @@ type controller struct {
 	cfg      Config
 	up, down float64
 	model    *cluster.FleetModel
+	pools    *cluster.WarmPools // nil unless cfg.ColdStart.Enabled()
 	disp     cluster.Dispatcher
 	servers  []*serverState
 	// candidates are the ready, non-draining server indices, ascending.
@@ -432,6 +445,12 @@ func Run(cfg Config, src workload.Source) (*Result, error) {
 	if c.disp, err = cluster.NewDispatcher(cfg.Dispatch, cfg.Seed, c.model); err != nil {
 		return nil, err
 	}
+	if cfg.ColdStart.Enabled() {
+		c.pools = cluster.NewWarmPools(cfg.ColdStart, 0)
+		if cfg.ColdStart.WarmFirst {
+			c.disp = cluster.WarmFirstDispatcher(c.disp, c.pools, c.model)
+		}
+	}
 	// The Min floor is provisioned before the run: launched and ready at
 	// time zero, exactly the fixed fleet's starting state.
 	for i := 0; i < cfg.Min; i++ {
@@ -505,6 +524,9 @@ func (c *controller) processArrival(inv workload.Invocation, idx int) error {
 func (c *controller) launch(t, ready time.Duration) {
 	idx := len(c.servers)
 	c.model.AddServer(ready)
+	if c.pools != nil {
+		c.pools.AddServer() // a fresh server has no warm state
+	}
 	sv := &serverState{Server: Server{
 		Index: idx, LaunchAt: t, ReadyAt: ready, DrainAt: Never, RetireAt: Never,
 	}}
@@ -551,16 +573,28 @@ func (c *controller) route(inv workload.Invocation, idx int) error {
 	if i >= len(c.candidates) || c.candidates[i] != s {
 		return fmt.Errorf("autoscale: dispatch %q picked non-candidate server %d", c.cfg.Dispatch, s)
 	}
-	finish := c.model.Assign(s, inv)
+	var cold, finish time.Duration
+	if c.pools == nil {
+		finish = c.model.Assign(s, inv)
+	} else {
+		if c.pools.IsCold(s, inv, inv.Arrival) {
+			cold = c.cfg.ColdStart.Latency
+		}
+		finish = c.model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
+		c.pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+	}
 	if c.cfg.Policy == PolicyQueueDepth {
 		c.track.book(s, finish)
 	}
 	sv := c.servers[s]
 	sv.Routed++
+	if cold > 0 {
+		sv.ColdStarts++
+	}
 	if c.cfg.TrackAssignment {
 		c.assign = append(c.assign, s)
 	}
-	sv.ch <- cluster.Routed{Inv: inv, Idx: idx}
+	sv.ch <- cluster.Routed{Inv: inv, Idx: idx, ColdStart: cold}
 	return nil
 }
 
@@ -635,6 +669,9 @@ func (c *controller) evalDown(t time.Duration, justLaunched bool) {
 		c.pending = c.pending[:n-1]
 		sv := c.servers[idx]
 		sv.DrainAt, sv.RetireAt, sv.Canceled = t, t, true
+		if c.pools != nil {
+			c.pools.DropServer(idx) // empty by construction, but keep the invariant
+		}
 		c.events = append(c.events, Event{Time: t, Kind: EventDrain, Server: idx})
 	} else {
 		best, bestLoad := -1, time.Duration(0)
@@ -649,6 +686,12 @@ func (c *controller) evalDown(t time.Duration, justLaunched bool) {
 		c.candidates = append(c.candidates[:i], c.candidates[i+1:]...)
 		c.draining = append(c.draining, best)
 		c.track.drop(best)
+		if c.pools != nil {
+			// Retiring the server tears down its instances: nothing routes
+			// here again, so dropping at drain time is observationally the
+			// same as at retire time — and the warm state is gone for good.
+			c.pools.DropServer(best)
+		}
 		close(sv.ch)
 		sv.closed = true
 		c.events = append(c.events, Event{Time: t, Kind: EventDrain, Server: best})
@@ -708,6 +751,7 @@ func (c *controller) finish(routed int) (*Result, error) {
 		res.Completed += sv.Completed
 		res.Failed += sv.Failed
 		res.Preemptions += sv.Preemptions
+		res.ColdStarts += sv.ColdStarts
 		res.ServerSeconds += sv.BilledSeconds()
 		res.TicksFired += sv.tickStats.Ticks
 		res.TicksElided += sv.tickStats.TicksElided

@@ -401,3 +401,120 @@ func TestCanceledBootServesNothing(t *testing.T) {
 		t.Errorf("completed %d of %d", res.Completed, len(invs))
 	}
 }
+
+// TestPinnedFleetColdStartMatchesCluster extends the min=max equivalence
+// claim to the warm-instance model: with identical ColdStartConfig, a
+// pinned autoscaler and the fixed streamed fleet must make the same
+// cold/warm calls and produce identical records.
+func TestPinnedFleetColdStartMatchesCluster(t *testing.T) {
+	cs := cluster.ColdStartConfig{
+		Latency:   20 * time.Millisecond,
+		KeepAlive: 5 * time.Second,
+		WarmFirst: true,
+	}
+	invs := steady(300, 2*time.Millisecond, 4*time.Millisecond)
+	want, err := cluster.Simulate(cluster.Config{
+		Servers:   2,
+		Dispatch:  cluster.DispatchLeastLoaded,
+		Seed:      7,
+		Kernel:    simkern.DefaultConfig(2),
+		Policy:    cfsFactory,
+		Streamed:  true,
+		ColdStart: cs,
+	}, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Config{
+		Min: 2, Max: 2,
+		Dispatch:        cluster.DispatchLeastLoaded,
+		Seed:            7,
+		Kernel:          simkern.DefaultConfig(2),
+		Sched:           cfsFactory,
+		ColdStart:       cs,
+		TrackAssignment: true,
+	}, workload.SliceSource(invs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ColdStarts != want.Set.ColdStarts() {
+		t.Errorf("cold starts %d, want %d", got.ColdStarts, want.Set.ColdStarts())
+	}
+	if got.ColdStarts == 0 {
+		t.Error("cold-start model enabled but no cold starts; test is vacuous")
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("assignment[%d] = %d, want %d", i, got.Assignment[i], want.Assignment[i])
+		}
+	}
+	for s := range want.PerServer {
+		ws, gs := want.PerServer[s], got.Servers[s]
+		if len(gs.Set.Records) != len(ws.Set.Records) {
+			t.Fatalf("server %d: %d records, want %d", s, len(gs.Set.Records), len(ws.Set.Records))
+		}
+		for i := range ws.Set.Records {
+			if gs.Set.Records[i] != ws.Set.Records[i] {
+				t.Fatalf("server %d record %d: %+v != %+v", s, i, gs.Set.Records[i], ws.Set.Records[i])
+			}
+		}
+	}
+}
+
+// TestAutoscaleColdStartScalingRun exercises the warm pools through full
+// scale-up/drain/relaunch cycles: nothing is dropped, the routing-time
+// cold-start count agrees with the completion records, per-server counts
+// sum to the fleet total, and the whole run is deterministic.
+func TestAutoscaleColdStartScalingRun(t *testing.T) {
+	run := func() *Result {
+		cfg := fastScaleConfig(1, 3, PolicyTargetUtilization)
+		cfg.ColdStart = cluster.ColdStartConfig{
+			Latency:   2 * time.Millisecond,
+			KeepAlive: time.Second,
+			WarmFirst: true,
+		}
+		res, err := Run(cfg, workload.SliceSource(burstyWorkload(0, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Drained() == 0 || res.Launched() <= 1 {
+		t.Fatalf("launched=%d drained=%d: fleet never cycled; test is vacuous",
+			res.Launched(), res.Drained())
+	}
+	if res.Routed != res.Completed {
+		t.Errorf("routed %d != completed %d", res.Routed, res.Completed)
+	}
+	if res.ColdStarts == 0 {
+		t.Fatal("no cold starts in a scaling run with the model enabled")
+	}
+	perServer, recorded := 0, 0
+	for i := range res.Servers {
+		sv := &res.Servers[i]
+		perServer += sv.ColdStarts
+		if sv.Set != nil {
+			recorded += sv.Set.ColdStarts()
+		}
+		// A server that served anything paid at least one cold start: it
+		// launches with an empty pool, and drain destroys it for good.
+		if sv.Routed > 0 && sv.ColdStarts == 0 {
+			t.Errorf("server %d routed %d invocations with no cold start on a fresh pool",
+				sv.Index, sv.Routed)
+		}
+	}
+	if perServer != res.ColdStarts {
+		t.Errorf("per-server cold starts sum %d != fleet total %d", perServer, res.ColdStarts)
+	}
+	if recorded != res.ColdStarts {
+		t.Errorf("recorded cold starts %d != routed cold starts %d", recorded, res.ColdStarts)
+	}
+	again := run()
+	if again.ColdStarts != res.ColdStarts || again.Makespan != res.Makespan ||
+		again.Launched() != res.Launched() || again.Drained() != res.Drained() {
+		t.Errorf("nondeterministic: cold %d/%d makespan %v/%v launched %d/%d drained %d/%d",
+			res.ColdStarts, again.ColdStarts, res.Makespan, again.Makespan,
+			res.Launched(), again.Launched(), res.Drained(), again.Drained())
+	}
+}

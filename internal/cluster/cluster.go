@@ -55,6 +55,11 @@ type Config struct {
 	// Window overrides the streamed feeders' look-ahead half-window.
 	// Zero means simrun.DefaultWindow. Ignored unless Streamed.
 	Window time.Duration
+	// ColdStart configures the per-function warm-instance model (see
+	// coldstart.go and DESIGN.md §10). The zero value disables it, and a
+	// disabled model leaves routing and task demands byte-for-byte
+	// unchanged.
+	ColdStart ColdStartConfig
 }
 
 // ServerResult is one server's share of a fleet simulation.
@@ -118,6 +123,23 @@ func (r *Result) ImbalanceRatio() float64 { return Imbalance(r.PerServer) }
 type Routed struct {
 	Inv workload.Invocation
 	Idx int
+	// ColdStart is the instance spin-up latency this routing decision
+	// incurred (zero on warm hits and with the model disabled). The
+	// per-server run adds it to the task's service demand.
+	ColdStart time.Duration
+}
+
+// applyColdStart folds the routing decision's cold-start penalty into
+// the task's service demand: instance init is CPU work on the instance,
+// which is exactly how OS scheduling and function start behavior
+// interact. Both the slice path and the task-pool path apply the same
+// fold.
+func (r Routed) applyColdStart(t *simkern.Task) *simkern.Task {
+	if r.ColdStart > 0 {
+		t.Work += r.ColdStart
+		t.ColdStart = r.ColdStart
+	}
+	return t
 }
 
 // Simulate routes invs across the fleet and simulates every server.
@@ -147,10 +169,20 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	}
 
 	// Phase 1: route every invocation, in arrival order, deterministically.
+	// The warm pools, like the fleet model, are causal front-end state:
+	// both update single-threaded here, so routing (and with it every
+	// cold/warm decision) is fixed before any server simulates.
 	model := NewFleetModel(cfg.Servers, cfg.Kernel.Cores)
 	disp, err := NewDispatcher(cfg.Dispatch, cfg.Seed, model)
 	if err != nil {
 		return nil, err
+	}
+	var pools *WarmPools
+	if cfg.ColdStart.Enabled() {
+		pools = NewWarmPools(cfg.ColdStart, cfg.Servers)
+		if cfg.ColdStart.WarmFirst {
+			disp = WarmFirstDispatcher(disp, pools, model)
+		}
 	}
 	candidates := make([]int, cfg.Servers)
 	for s := range candidates {
@@ -163,9 +195,18 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 		if s < 0 || s >= cfg.Servers {
 			return nil, fmt.Errorf("cluster: dispatch %q picked server %d of %d", cfg.Dispatch, s, cfg.Servers)
 		}
-		model.Assign(s, inv)
+		var cold time.Duration
+		if pools == nil {
+			model.Assign(s, inv)
+		} else {
+			if pools.IsCold(s, inv, inv.Arrival) {
+				cold = cfg.ColdStart.Latency
+			}
+			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
+			pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+		}
 		assignment[i] = s
-		perServer[s] = append(perServer[s], Routed{Inv: inv, Idx: i})
+		perServer[s] = append(perServer[s], Routed{Inv: inv, Idx: i, ColdStart: cold})
 	}
 
 	// Policies are built sequentially so factories need not be
@@ -229,7 +270,7 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []Routed) (ServerRe
 	} else {
 		tasks := make([]*simkern.Task, 0, len(share))
 		for _, r := range share {
-			tasks = append(tasks, workload.Task(r.Inv, simkern.TaskID(r.Idx+1)))
+			tasks = append(tasks, r.applyColdStart(workload.Task(r.Inv, simkern.TaskID(r.Idx+1))))
 		}
 		if k, err = simrun.Exec(cfg.Kernel, policy, cfg.Ghost, simrun.AddTasks(tasks)); err == nil {
 			out.Set = metrics.Collect(k)
@@ -260,7 +301,7 @@ func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Conf
 		if !ok {
 			return nil, false
 		}
-		return pool.Get(r.Inv, simkern.TaskID(r.Idx+1)), true
+		return r.applyColdStart(pool.Get(r.Inv, simkern.TaskID(r.Idx+1))), true
 	}
 	return simrun.ExecStream(kcfg, policy, gcfg, src, simrun.StreamConfig{
 		Window:  window,

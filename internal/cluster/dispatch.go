@@ -118,6 +118,13 @@ func (m *FleetModel) IdleSince(s int, now time.Duration) (time.Duration, bool) {
 // Assign books inv onto server s's earliest-freeing lane and returns the
 // booked completion instant (start + service demand under the lane model).
 func (m *FleetModel) Assign(s int, inv workload.Invocation) time.Duration {
+	return m.AssignDemand(s, inv.Arrival, inv.Duration)
+}
+
+// AssignDemand is Assign with an explicit service demand, for callers
+// that inflate an invocation's demand — the cold-start model adds the
+// instance spin-up latency on cold placements.
+func (m *FleetModel) AssignDemand(s int, arrival, demand time.Duration) time.Duration {
 	lanes := m.laneFree[s]
 	best := 0
 	for l := 1; l < len(lanes); l++ {
@@ -125,11 +132,11 @@ func (m *FleetModel) Assign(s int, inv workload.Invocation) time.Duration {
 			best = l
 		}
 	}
-	start := inv.Arrival
+	start := arrival
 	if lanes[best] > start {
 		start = lanes[best]
 	}
-	lanes[best] = start + inv.Duration
+	lanes[best] = start + demand
 	return lanes[best]
 }
 

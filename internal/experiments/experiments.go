@@ -112,6 +112,18 @@ type Env struct {
 	// faasbench -as-spinup knob). Zero means autoscale.DefaultSpinUp.
 	AutoscaleSpinUp time.Duration
 
+	// ColdStartLatency overrides the ext-coldstart instance spin-up
+	// latency (the faasbench -coldstart-latency knob). Zero means
+	// cluster.DefaultColdStartLatency.
+	ColdStartLatency time.Duration
+	// ColdKeepAlive pins ext-coldstart to a single keep-alive TTL instead
+	// of the default sweep (the faasbench -keepalive knob). Zero means
+	// sweep; negative means a single infinite-TTL point.
+	ColdKeepAlive time.Duration
+	// ColdPoolMB bounds each server's warm-pool memory in ext-coldstart
+	// (the faasbench -coldstart-pool-mb knob). Zero means unbounded.
+	ColdPoolMB int
+
 	mu  sync.Mutex
 	tr  *trace.Trace
 	w2  []workload.Invocation

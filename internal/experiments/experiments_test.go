@@ -117,7 +117,8 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 		"fig20", "fig21", "fig22", "fig23", "table1",
 		"ablation-cachepenalty", "ablation-mingran", "ablation-msglatency",
 		"ablation-switchcost", "ext-autoscale", "ext-cluster-dispatch",
-		"ext-diurnal", "ext-fullscale", "ext-vmthreads", "table1i",
+		"ext-coldstart", "ext-diurnal", "ext-fullscale", "ext-vmthreads",
+		"table1i",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -282,4 +283,72 @@ func TestFigureRendering(t *testing.T) {
 		}
 	}()
 	fig.AddRow("only-one")
+}
+
+// TestExtColdStartTrend pins the acceptance claim for the warm-instance
+// model: with the model enabled, the cold-start rate is nonzero at every
+// TTL, monotonically non-increasing as the keep-alive rises (per
+// dispatch×scheduler series), and warm-first dispatch never does worse
+// than plain least-loaded at the same TTL.
+func TestExtColdStartTrend(t *testing.T) {
+	fig, err := Run(testEnv(t), "ext-coldstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: ttl_s dispatch sched cold_n cold_rate_pct ...
+	type cell struct {
+		ttl  string
+		rate float64
+	}
+	series := map[string][]cell{}
+	ttlOrder := []string{}
+	for _, row := range fig.Rows {
+		rate, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad cold_rate_pct %q: %v", row[4], err)
+		}
+		if rate <= 0 {
+			t.Errorf("ttl=%s %s/%s: cold-start rate is zero with the model enabled", row[0], row[1], row[2])
+		}
+		k := row[1] + "/" + row[2]
+		series[k] = append(series[k], cell{ttl: row[0], rate: rate})
+		if len(ttlOrder) == 0 || ttlOrder[len(ttlOrder)-1] != row[0] {
+			ttlOrder = append(ttlOrder, row[0])
+		}
+	}
+	if len(ttlOrder) < 2 {
+		t.Fatalf("TTL sweep has %d points, want several", len(ttlOrder))
+	}
+	for k, cells := range series {
+		for i := 1; i < len(cells); i++ {
+			if cells[i].rate > cells[i-1].rate {
+				t.Errorf("%s: cold rate rose from %.2f%% (ttl=%s) to %.2f%% (ttl=%s)",
+					k, cells[i-1].rate, cells[i-1].ttl, cells[i].rate, cells[i].ttl)
+			}
+		}
+		if cells[0].rate <= cells[len(cells)-1].rate {
+			// The sweep spans 1s..inf; a flat series means the model is inert.
+			t.Errorf("%s: cold rate did not fall across the sweep (%.2f%% -> %.2f%%)",
+				k, cells[0].rate, cells[len(cells)-1].rate)
+		}
+	}
+	// Warm-first vs least-loaded at equal TTL and scheduler.
+	byKey := map[string]float64{}
+	for _, row := range fig.Rows {
+		rate, _ := strconv.ParseFloat(row[4], 64)
+		byKey[row[0]+"/"+row[1]+"/"+row[2]] = rate
+	}
+	for _, ttl := range ttlOrder {
+		for _, sched := range []string{"fifo", "cfs", "hybrid"} {
+			ll, okLL := byKey[ttl+"/least-loaded/"+sched]
+			wf, okWF := byKey[ttl+"/warm-first/"+sched]
+			if !okLL || !okWF {
+				t.Fatalf("missing cells for ttl=%s sched=%s", ttl, sched)
+			}
+			if wf > ll {
+				t.Errorf("ttl=%s %s: warm-first cold rate %.2f%% exceeds least-loaded %.2f%%",
+					ttl, sched, wf, ll)
+			}
+		}
+	}
 }

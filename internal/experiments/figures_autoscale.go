@@ -115,6 +115,8 @@ func ExtAutoscale(e *Env) (*Figure, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ext-autoscale %s/%s: %w", s.name, sc.name, err)
 			}
+			// An idle or all-failed tail still gets its per-window rows.
+			win.EnsureWindows(horizonWindows(minutes, width))
 			for w := 0; w < win.Windows(); w++ {
 				wa := win.Window(w)
 				lo, hi := time.Duration(w)*width, time.Duration(w+1)*width

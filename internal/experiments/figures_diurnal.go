@@ -126,6 +126,9 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ext-diurnal %s: %w", s.name, err)
 		}
+		// Open windows for the whole horizon: an idle tail must show as
+		// empty trailing windows, not silently shorten the track.
+		win.EnsureWindows(horizonWindows(minutes, win.Width()))
 		acc := win.Total()
 		q := func(m metrics.Metric, p float64) string {
 			v, err := acc.Quantile(m, p)
@@ -153,6 +156,15 @@ func ExtDiurnal(e *Env) (*Figure, error) {
 	fig.Note("volume: RateScale=1 (already-downscaled Azure-calibrated rate); horizon %d min of the 1440-min diurnal cycle (scale=%s, override with -minutes)", minutes, e.Scale)
 	fig.Note("hybrid uses the paper's %v static limit (p90 derivation would materialize the workload)", core.DefaultStaticLimit)
 	return fig, nil
+}
+
+// horizonWindows returns ceil(horizon/width): how many windows a run of
+// that many minutes spans. Completions can land past the horizon (work
+// admitted near the end drains after it), so this is a floor the sink
+// may exceed, never a truncation.
+func horizonWindows(minutes int, width time.Duration) int {
+	horizon := time.Duration(minutes) * time.Minute
+	return int((horizon + width - 1) / width)
 }
 
 // windowTrack renders a windowed sink's per-window p99 turnaround and

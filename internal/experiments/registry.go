@@ -41,6 +41,7 @@ var registry = map[string]Runner{
 	"table1i":               Table1Interference,
 	"ext-vmthreads":         ExtVMThreads,
 	"ext-cluster-dispatch":  ExtClusterDispatch,
+	"ext-coldstart":         ExtColdStart,
 	"ext-fullscale":         ExtFullScale,
 	"ext-diurnal":           ExtDiurnal,
 	"ext-autoscale":         ExtAutoscale,

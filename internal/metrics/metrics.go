@@ -29,6 +29,11 @@ type Record struct {
 	Preemptions int
 	MemMB       int
 	FibN        int
+	// ColdStart is the instance start latency this invocation paid (zero
+	// on warm hits and when the cold-start model is disabled). The latency
+	// is part of the service demand, so Execution already includes it;
+	// this field breaks it out.
+	ColdStart time.Duration
 	// Failed marks invocations that never ran (e.g. microVM launch
 	// failures when server memory is exhausted, §VI-E). Failed records
 	// carry no timing metrics.
@@ -44,6 +49,9 @@ func (r Record) Response() time.Duration { return r.FirstRun - r.Arrival }
 // Turnaround returns Tcompletion − Tarrival.
 func (r Record) Turnaround() time.Duration { return r.Finish - r.Arrival }
 
+// Cold reports whether this invocation paid a cold start.
+func (r Record) Cold() bool { return r.ColdStart > 0 }
+
 // FromTask converts a finished simulator task into a Record.
 func FromTask(t *simkern.Task) Record {
 	return Record{
@@ -56,6 +64,7 @@ func FromTask(t *simkern.Task) Record {
 		Preemptions: t.Preemptions(),
 		MemMB:       t.MemMB,
 		FibN:        t.FibN,
+		ColdStart:   t.ColdStart,
 	}
 }
 
@@ -178,6 +187,17 @@ func (s Set) TotalExecution() time.Duration {
 		sum += r.Execution()
 	}
 	return sum
+}
+
+// ColdStarts counts completed records that paid a cold start.
+func (s Set) ColdStarts() int {
+	n := 0
+	for _, r := range s.Records {
+		if !r.Failed && r.Cold() {
+			n++
+		}
+	}
+	return n
 }
 
 // TotalPreemptions sums preemption counts.

@@ -52,6 +52,8 @@ type Accumulator struct {
 	totalExec   time.Duration
 	billedMs    int64 // sum of per-invocation ceil-to-ms billed durations
 	cost        float64
+	coldStarts  int           // completed records that paid a cold start
+	coldLatency time.Duration // summed cold-start latency across them
 }
 
 // NewAccumulator returns an empty accumulator billing at tariff.
@@ -79,6 +81,10 @@ func (a *Accumulator) Push(r Record) {
 	a.totalExec += exec
 	a.billedMs += pricing.BilledMilliseconds(exec)
 	a.cost += a.tariff.InvocationCost(exec, r.MemMB)
+	if r.Cold() {
+		a.coldStarts++
+		a.coldLatency += r.ColdStart
+	}
 }
 
 // Completed returns the number of completed records seen.
@@ -92,6 +98,33 @@ func (a *Accumulator) TotalPreemptions() int { return a.preemptions }
 
 // TotalExecution sums execution time across completed records.
 func (a *Accumulator) TotalExecution() time.Duration { return a.totalExec }
+
+// ColdStarts counts completed records that paid a cold start.
+func (a *Accumulator) ColdStarts() int { return a.coldStarts }
+
+// WarmHits counts completed records served by a warm instance.
+func (a *Accumulator) WarmHits() int { return a.completed - a.coldStarts }
+
+// TotalColdStart sums the cold-start latency paid across completed
+// records (already part of TotalExecution; broken out here).
+func (a *Accumulator) TotalColdStart() time.Duration { return a.coldLatency }
+
+// ColdStartRate is the fraction of completed records that paid a cold
+// start (0 when nothing completed).
+func (a *Accumulator) ColdStartRate() float64 {
+	if a.completed == 0 {
+		return 0
+	}
+	return float64(a.coldStarts) / float64(a.completed)
+}
+
+// WarmHitRatio is 1 − ColdStartRate (0 when nothing completed).
+func (a *Accumulator) WarmHitRatio() float64 {
+	if a.completed == 0 {
+		return 0
+	}
+	return float64(a.completed-a.coldStarts) / float64(a.completed)
+}
 
 // Cost is the running tariff join: every completed record billed at its
 // own memory size, same semantics as Set.Cost.
@@ -126,10 +159,16 @@ func (a *Accumulator) P99(m Metric) (float64, error) {
 
 // Merge folds other into a. Counts and histograms merge exactly; the
 // float cost total is summed in call order, so fleets merge per-server
-// accumulators in server-index order to stay deterministic.
+// accumulators in server-index order to stay deterministic. The sinks
+// must bill at the same tariff: summing cost totals across tariffs is
+// meaningless, and CostAtUniformMemory would rebill other's billedMs at
+// a's rate.
 func (a *Accumulator) Merge(other *Accumulator) error {
 	if other == nil {
 		return nil
+	}
+	if other.tariff != a.tariff {
+		return fmt.Errorf("metrics: merging accumulators with different tariffs (%+v into %+v)", other.tariff, a.tariff)
 	}
 	for i := range a.hists {
 		if err := a.hists[i].Merge(other.hists[i]); err != nil {
@@ -142,6 +181,8 @@ func (a *Accumulator) Merge(other *Accumulator) error {
 	a.totalExec += other.totalExec
 	a.billedMs += other.billedMs
 	a.cost += other.cost
+	a.coldStarts += other.coldStarts
+	a.coldLatency += other.coldLatency
 	return nil
 }
 

@@ -137,3 +137,32 @@ func TestAccumulatorMerge(t *testing.T) {
 		t.Error("bad metric accepted")
 	}
 }
+
+// TestAccumulatorMergeRejectsTariffMismatch: cost totals from different
+// tariffs must not sum — the merge has to fail, and fail without mutating
+// the receiver.
+func TestAccumulatorMergeRejectsTariffMismatch(t *testing.T) {
+	a := NewAccumulator(pricing.Default())
+	other := pricing.Default()
+	other.PerGBSecondUSD *= 2
+	b := NewAccumulator(other)
+	for i, r := range sinkRecords(40) {
+		if i%2 == 0 {
+			a.Push(r)
+		} else {
+			b.Push(r)
+		}
+	}
+	before := a.Cost()
+	completedBefore := a.Completed()
+	if err := a.Merge(b); err == nil {
+		t.Fatal("tariff-mismatched accumulator merge accepted")
+	}
+	if a.Cost() != before || a.Completed() != completedBefore {
+		t.Error("failed merge mutated the receiver")
+	}
+	// Identical tariffs still merge.
+	if err := a.Merge(NewAccumulator(pricing.Default())); err != nil {
+		t.Errorf("same-tariff merge rejected: %v", err)
+	}
+}

@@ -57,8 +57,21 @@ func (w *WindowedAccumulator) Push(r Record) {
 }
 
 // Windows returns how many windows have been opened: 1 + the index of the
-// latest window that received a record (earlier windows may be empty).
+// latest window that received a record (earlier windows may be empty), or
+// the count forced by EnsureWindows, whichever is larger.
 func (w *WindowedAccumulator) Windows() int { return len(w.wins) }
+
+// EnsureWindows opens empty windows until at least n exist. Push only
+// opens windows up to the last successful completion, so a run with an
+// idle or all-failed tail would otherwise report fewer windows than its
+// horizon and per-window tables would silently drop trailing rows; the
+// experiments call EnsureWindows(ceil(horizon/width)) before rendering.
+// Windows that already exist are untouched.
+func (w *WindowedAccumulator) EnsureWindows(n int) {
+	for len(w.wins) < n {
+		w.wins = append(w.wins, NewAccumulator(w.tariff))
+	}
+}
 
 // Window returns window i's accumulator. It is valid for i in
 // [0, Windows()); empty windows hold zero-count accumulators.
@@ -79,6 +92,12 @@ func (w *WindowedAccumulator) Merge(other *WindowedAccumulator) error {
 	}
 	if other.width != w.width {
 		return fmt.Errorf("metrics: merging windowed sinks of width %v into %v", other.width, w.width)
+	}
+	// Checked here, before any window mutates, so a mismatch cannot leave
+	// w half-merged (the per-window Accumulator.Merge would also reject it,
+	// but only after earlier windows had already been folded in).
+	if other.tariff != w.tariff {
+		return fmt.Errorf("metrics: merging windowed sinks with different tariffs (%+v into %+v)", other.tariff, w.tariff)
 	}
 	for len(w.wins) < len(other.wins) {
 		w.wins = append(w.wins, NewAccumulator(w.tariff))

@@ -144,3 +144,65 @@ func TestWindowedValidation(t *testing.T) {
 		t.Errorf("width = %v", a.Width())
 	}
 }
+
+// TestWindowedMergeRejectsTariffMismatch: the tariff check fires before
+// any window merges, so a mismatch cannot leave the receiver half-merged.
+func TestWindowedMergeRejectsTariffMismatch(t *testing.T) {
+	a, _ := NewWindowedAccumulator(pricing.Default(), time.Second)
+	other := pricing.Default()
+	other.PerRequestUSD += 1e-7
+	b, _ := NewWindowedAccumulator(other, time.Second)
+	a.Push(windowedRecord(1, 100*time.Millisecond))
+	b.Push(windowedRecord(2, 2500*time.Millisecond))
+	if err := a.Merge(b); err == nil {
+		t.Fatal("tariff-mismatched windowed merge accepted")
+	}
+	if a.Windows() != 1 || a.Total().Completed() != 1 {
+		t.Error("failed merge mutated the receiver")
+	}
+}
+
+// TestEnsureWindows: trailing empty windows appear in per-window tables —
+// an idle or all-failed tail must not shorten the horizon.
+func TestEnsureWindows(t *testing.T) {
+	w, err := NewWindowedAccumulator(pricing.Default(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(windowedRecord(1, 1500*time.Millisecond)) // opens windows 0..1
+	w.Push(Record{ID: 2, Failed: true})              // total-only, opens nothing
+	if w.Windows() != 2 {
+		t.Fatalf("windows before ensure = %d, want 2", w.Windows())
+	}
+	w.EnsureWindows(5)
+	if w.Windows() != 5 {
+		t.Fatalf("windows after ensure = %d, want 5", w.Windows())
+	}
+	for i := 2; i < 5; i++ {
+		if w.Window(i).Completed() != 0 {
+			t.Errorf("forced window %d not empty", i)
+		}
+	}
+	if w.Window(1).Completed() != 1 {
+		t.Error("existing window disturbed")
+	}
+	// Shrinking or re-ensuring is a no-op.
+	w.EnsureWindows(3)
+	if w.Windows() != 5 {
+		t.Errorf("EnsureWindows shrank to %d", w.Windows())
+	}
+	// A later Push still lands in the right (pre-opened) window, and
+	// merging a forced-empty sink is exact.
+	w.Push(windowedRecord(3, 4200*time.Millisecond))
+	if w.Window(4).Completed() != 1 {
+		t.Error("push into pre-opened window lost")
+	}
+	b, _ := NewWindowedAccumulator(pricing.Default(), time.Second)
+	b.EnsureWindows(7)
+	if err := w.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if w.Windows() != 7 {
+		t.Errorf("merge did not adopt forced windows: %d", w.Windows())
+	}
+}

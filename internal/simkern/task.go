@@ -108,6 +108,11 @@ type Task struct {
 	MemMB   int           // allocated memory size, drives billing
 	FibN    int           // calibrated Fibonacci argument (0 if n/a)
 	VMID    int           // owning microVM, NoVM for plain functions
+	// ColdStart is the instance start latency folded into Work by the
+	// cluster layer when this invocation spun up a cold instance (zero on
+	// warm hits and outside the cold-start model). The kernel never reads
+	// it; it rides along so metrics can break cold starts out.
+	ColdStart time.Duration
 
 	PolicyData any
 

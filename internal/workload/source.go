@@ -23,8 +23,15 @@ import (
 
 // Source yields invocations in non-decreasing arrival order. It is an
 // iter.Seq[Invocation]: usable directly in a range-over-func loop, or
-// pulled one invocation at a time via iter.Pull. A Source may be consumed
-// more than once; every pass yields the identical sequence.
+// pulled one invocation at a time via iter.Pull.
+//
+// Replayability depends on the producer: derived sources (Builder.Stream,
+// SliceSource) may be consumed any number of times and every pass yields
+// the identical sequence, but sources that drain an underlying reader
+// (ReadSource) are single-pass — a second iteration yields nothing and
+// reports "source already consumed" through the producer's error function.
+// Consumers that need multiple passes over an arbitrary Source must
+// Materialize it first.
 type Source func(yield func(Invocation) bool)
 
 // Stream is the lazy equivalent of Build: it validates the request and
@@ -93,7 +100,7 @@ func (b Builder) Stream(tr *trace.Trace, startMinute, minutes int) (Source, erro
 			// "Workload Generation").
 			buf = buf[:0]
 			base := time.Duration(m) * time.Minute
-			for _, key := range keys {
+			for ki, key := range keys {
 				k := merged[key][m] / b.Downscale
 				if k <= 0 {
 					continue
@@ -106,6 +113,7 @@ func (b Builder) Stream(tr *trace.Trace, startMinute, minutes int) (Source, erro
 						FibN:     key.fibN,
 						Duration: duration,
 						MemMB:    key.memMB,
+						FuncID:   ki + 1, // stable over the sorted buckets
 					})
 				}
 			}
@@ -135,7 +143,10 @@ func (b Builder) Stream(tr *trace.Trace, startMinute, minutes int) (Source, erro
 // multi-GB trace file can feed the streaming simulation entry points
 // without ever being materialized. Unlike a Builder.Stream source the
 // result is single-pass — it consumes r as it is pulled, so it must be
-// iterated at most once (a second pass yields nothing).
+// iterated at most once. A second iteration yields nothing and latches a
+// "source already consumed" error on the returned error function, so a
+// multi-pass consumer fails loudly instead of silently simulating an
+// empty run.
 //
 // Parse errors after the header cannot surface through the yield-based
 // Source shape; they stop the stream early and are reported by the
@@ -161,8 +172,13 @@ func ReadSource(r io.Reader, model fib.DurationModel) (Source, func() error, err
 	src := func(yield func(Invocation) bool) {
 		// Single-pass latch: any second iteration — including after an
 		// early break — yields nothing, rather than resuming mid-file
-		// with the arrival accumulator and line counter rebased.
+		// with the arrival accumulator and line counter rebased. The
+		// violation is surfaced through the error function (unless a real
+		// read error already owns it).
 		if started {
+			if readErr == nil {
+				readErr = errors.New("workload: source already consumed (ReadSource is single-pass; Materialize first for multiple passes)")
+			}
 			return
 		}
 		started = true

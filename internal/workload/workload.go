@@ -36,6 +36,12 @@ type Invocation struct {
 	Duration time.Duration
 	// MemMB is the allocated memory size (drives billing).
 	MemMB int
+	// FuncID identifies the logical function this invocation belongs to —
+	// the identity warm instances are shared under. Builder.Stream assigns
+	// stable IDs (1..buckets, in sorted bucket order); zero means
+	// unassigned, and consumers fall back to the (FibN, MemMB) bucket as
+	// the function identity.
+	FuncID int
 }
 
 // Builder derives invocation lists from traces.

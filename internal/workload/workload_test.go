@@ -297,9 +297,66 @@ func TestFileRoundTrip(t *testing.T) {
 		}
 	}
 	// The streaming source is single-pass: a second consumption yields
-	// nothing (documented; it reads the underlying io.Reader).
+	// nothing (documented; it reads the underlying io.Reader) and latches
+	// a contract-violation error instead of passing silently.
 	if again := Materialize(src); len(again) != 0 {
 		t.Errorf("second pass over ReadSource yielded %d invocations", len(again))
+	}
+	if err := readErr(); err == nil || !strings.Contains(err.Error(), "already consumed") {
+		t.Errorf("second pass not reported as contract violation: %v", err)
+	}
+}
+
+// TestReadSourceSecondPassLatchesError: re-iterating a ReadSource must
+// surface "source already consumed" through the error function — the
+// silent-empty-run regression. The latch also fires after an early break
+// (the reader position is unrecoverable either way), and it never
+// overwrites a real read error from the first pass.
+func TestReadSourceSecondPassLatchesError(t *testing.T) {
+	const file = "iat_us,fib_n,mem_mb\n1000,36,128\n2000,31,256\n"
+
+	// Full first pass, then a second pass.
+	src, readErr, err := ReadSource(strings.NewReader(file), fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Materialize(src); len(got) != 2 {
+		t.Fatalf("first pass yielded %d invocations, want 2", len(got))
+	}
+	if err := readErr(); err != nil {
+		t.Fatalf("clean first pass reported error: %v", err)
+	}
+	if got := Materialize(src); len(got) != 0 {
+		t.Errorf("second pass yielded %d invocations", len(got))
+	}
+	if err := readErr(); err == nil || !strings.Contains(err.Error(), "already consumed") {
+		t.Errorf("second pass error = %v, want source-already-consumed", err)
+	}
+
+	// Early break counts as the one allowed pass.
+	src2, readErr2, err := ReadSource(strings.NewReader(file), fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2(func(Invocation) bool { return false })
+	if err := readErr2(); err != nil {
+		t.Fatalf("early break alone reported error: %v", err)
+	}
+	src2(func(Invocation) bool { return true })
+	if err := readErr2(); err == nil || !strings.Contains(err.Error(), "already consumed") {
+		t.Errorf("resume-after-break error = %v, want source-already-consumed", err)
+	}
+
+	// A real parse error from the first pass is not overwritten.
+	src3, readErr3, err := ReadSource(
+		strings.NewReader("iat_us,fib_n,mem_mb\nbogus,36,128\n"), fib.DurationModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Materialize(src3)
+	Materialize(src3)
+	if err := readErr3(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("parse error lost after second pass: %v", err)
 	}
 }
 
