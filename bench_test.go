@@ -11,6 +11,7 @@ package faassched
 // figure via b.ReportMetric (cost ratios, p99 seconds, KS distances).
 
 import (
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -313,6 +314,99 @@ func BenchmarkStreamedFullscale(b *testing.B) {
 }
 
 func fifoPolicy() ghost.Policy { return fifo.New(fifo.Config{}) }
+
+// BenchmarkShardedFleetReplay drives the sharded lockstep fleet engine
+// (DESIGN.md §11) at two scales. The small case keeps `go test -bench=.`
+// friendly; the large case is the engine's landing criterion — a full
+// 24 h diurnal window at ×10 the Azure-calibrated volume (~90M
+// invocations) across a 1,000-server fleet — and only makes sense under
+// -benchtime 1x (scripts/bench_baseline.sh runs it that way). Dispatch is
+// round-robin: an O(servers) least-loaded scan per pick is exactly the
+// kind of cost that does not survive 90M picks over 1,000 servers.
+func BenchmarkShardedFleetReplay(b *testing.B) {
+	cases := []struct {
+		name             string
+		servers, minutes int
+		rateScale        float64
+	}{
+		{"100servers_x1_2h", 100, 120, 1},
+		{"1000servers_x10_24h", 1000, 1440, 10},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			if tc.servers >= 1000 && os.Getenv("FAASSCHED_BIGBENCH") == "" {
+				b.Skip("set FAASSCHED_BIGBENCH=1 for the 24 h ×10 1,000-server replay (~90M invocations, minutes of wall time; scripts/bench_baseline.sh does)")
+			}
+			cfg := trace.DefaultConfig()
+			cfg.Seed = 1
+			cfg.Minutes = tc.minutes
+			cfg.RateScale = tc.rateScale
+			tr, err := trace.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *ShardedStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := workload.Builder{Downscale: 1}.Stream(tr, 0, tc.minutes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = SimulateShardedReplay(ClusterOptions{
+					Servers:        tc.servers,
+					CoresPerServer: 8,
+					Dispatch:       DispatchRoundRobin,
+					Scheduler:      SchedulerHybrid,
+					Seed:           1,
+					MetricsWindow:  time.Hour,
+				}, Source(src))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Total().Completed() == 0 {
+					b.Fatal("replay completed nothing")
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rep.Invocations), "invocations")
+			b.ReportMetric(float64(rep.Shards), "shards")
+			b.ReportMetric(float64(rep.TicksElided), "ticks_elided")
+		})
+	}
+}
+
+// BenchmarkSweepRunner contrasts the experiment sweep runner's serial and
+// parallel paths on a real grid experiment (ext-coldstart: TTL × dispatch
+// × scheduler, 24 independent fleet cells at quick scale). The ns/op
+// ratio between the sub-benchmarks is the fan-out speedup; the collated
+// figure is byte-identical either way (TestSweepMatchesSerial pins that).
+func BenchmarkSweepRunner(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			e := experiments.NewEnv(experiments.ScaleQuick)
+			e.SweepWorkers = tc.workers
+			if _, err := e.W2(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fig, err := experiments.Run(e, "ext-coldstart")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fig.Rows) == 0 {
+					b.Fatal("empty figure")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkWorkloadBuild measures the §V-B pipeline.
 func BenchmarkWorkloadBuild(b *testing.B) {

@@ -55,6 +55,11 @@ func run(args []string, stdout io.Writer) error {
 		compare   = fs.Bool("compare", false, "sweep every dispatch policy instead of running one")
 		file      = fs.String("workload", "", "replay a workload file instead of synthesizing")
 		csvPath   = fs.String("csv", "", "also write the result table as CSV to this path")
+		shards    = fs.Int("shards", 0, "partition the fleet into this many shard work units (0 = 4× workers)")
+		workers   = fs.Int("workers", 0, "bound the fleet execution worker pool (0 = GOMAXPROCS)")
+
+		shardMode   = fs.Bool("sharded", false, "run the sharded windowed replay (lockstep routing, O(shards×windows) memory) instead of the exact fixed fleet")
+		shardWindow = fs.Duration("shard-window", time.Hour, "sharded replay: per-window metrics width")
 
 		asMode   = fs.Bool("autoscale", false, "run an elastic fleet instead of a fixed one (-servers becomes the cap)")
 		asMin    = fs.Int("as-min", 1, "autoscale: provisioned fleet floor")
@@ -81,6 +86,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if (*warmFirst || *csPoolMB > 0) && *csLatency == 0 {
 		return fmt.Errorf("-warm-first and -coldstart-pool-mb need the cold-start model: set -coldstart-latency > 0")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be >= 0 (0 = 4× workers)", *shards)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d must be >= 0 (0 = GOMAXPROCS)", *workers)
+	}
+	if *shardMode {
+		if *asMode {
+			return fmt.Errorf("-sharded and -autoscale are mutually exclusive")
+		}
+		if *shardWindow <= 0 {
+			return fmt.Errorf("-shard-window %v must be positive", *shardWindow)
+		}
 	}
 	coldStart := faassched.ColdStartOptions{
 		Latency:   *csLatency,
@@ -110,11 +129,39 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	invs, err := faassched.LoadWorkload(*file, faassched.WorkloadSpec{
+	spec := faassched.WorkloadSpec{
 		Seed:           *seed,
 		Minutes:        *minutes,
 		MaxInvocations: *n,
-	})
+	}
+	if *shardMode {
+		// The sharded replay never materializes the workload: a synthetic
+		// spec streams straight from the trace, so provider-scale windows
+		// (×10 volume, multi-day horizons) stay O(shards × windows).
+		var src faassched.Source
+		if *file == "" {
+			var err error
+			src, err = faassched.BuildWorkloadSource(spec)
+			if err != nil {
+				return err
+			}
+		} else {
+			invs, err := faassched.LoadWorkload(*file, spec)
+			if err != nil {
+				return err
+			}
+			src = faassched.SliceSource(invs)
+		}
+		return runSharded(stdout, src, shardedArgs{
+			servers: *servers, cores: *cores,
+			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
+			seed: *seed, fifoCores: *fifoCores, limit: *limit,
+			shards: *shards, workers: *workers, window: *shardWindow,
+			csvPath: *csvPath, coldStart: coldStart,
+		})
+	}
+
+	invs, err := faassched.LoadWorkload(*file, spec)
 	if err != nil {
 		return err
 	}
@@ -151,6 +198,8 @@ func run(args []string, stdout io.Writer) error {
 			FIFOCores:      *fifoCores,
 			TimeLimit:      *limit,
 			ColdStart:      coldStart,
+			Shards:         *shards,
+			Workers:        *workers,
 		}, invs)
 		if err != nil {
 			return err
@@ -260,6 +309,77 @@ func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs
 	if a.coldStart.Enabled() {
 		fig.Note("cold starts: %d (retiring a server destroys its warm pool)", stats.ColdStarts)
 	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, fig.Text())
+	if a.csvPath != "" {
+		if err := os.WriteFile(a.csvPath, []byte(fig.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", a.csvPath)
+	}
+	return nil
+}
+
+// shardedArgs bundles the resolved -sharded flags.
+type shardedArgs struct {
+	servers, cores  int
+	dispatch        faassched.Dispatch
+	sched           faassched.Scheduler
+	seed            int64
+	fifoCores       int
+	limit           time.Duration
+	shards, workers int
+	window          time.Duration
+	csvPath         string
+	coldStart       faassched.ColdStartOptions
+}
+
+// runSharded is the sharded windowed replay entry point: lockstep
+// routing + simulation over a bounded shard pool, per-window rows out.
+func runSharded(stdout io.Writer, src faassched.Source, a shardedArgs) error {
+	start := time.Now()
+	stats, err := faassched.SimulateShardedReplay(faassched.ClusterOptions{
+		Servers:        a.servers,
+		CoresPerServer: a.cores,
+		Dispatch:       a.dispatch,
+		Scheduler:      a.sched,
+		Seed:           a.seed,
+		FIFOCores:      a.fifoCores,
+		TimeLimit:      a.limit,
+		Shards:         a.shards,
+		Workers:        a.workers,
+		MetricsWindow:  a.window,
+		ColdStart:      a.coldStart,
+	}, src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# sharded %d×%d-core fleet (%d shards) replayed %d invocations in %s\n# %s\n",
+		stats.Servers, a.cores, stats.Shards, stats.Invocations,
+		time.Since(start).Round(time.Millisecond), stats.Summary())
+
+	fig := experiments.NewFigure("clustersim-sharded",
+		fmt.Sprintf("%d×%d-core sharded fleet, %s per server, %s dispatch", stats.Servers, a.cores, a.sched, stats.Dispatch),
+		"window", "n", "p99_resp_ms", "p99_turn_s", "exec_cost_usd")
+	row := func(label string, acc *metrics.Accumulator) {
+		resp, turn := "-", "-"
+		if acc.Completed() > 0 {
+			if v, err := acc.Quantile(faassched.Response, 0.99); err == nil {
+				resp = fmt.Sprintf("%.1f", v)
+			}
+			if v, err := acc.P99(faassched.Turnaround); err == nil {
+				turn = fmt.Sprintf("%.2f", v)
+			}
+		}
+		fig.AddRow(label,
+			fmt.Sprintf("%d", acc.Completed()), resp, turn,
+			fmt.Sprintf("%.6f", acc.Cost()))
+	}
+	for w := 0; w < stats.WindowCount(); w++ {
+		row(fmt.Sprintf("w%d", w), stats.Window(w))
+	}
+	row("all", stats.Total())
+	fig.Note("makespan %s | agent ticks fired=%d elided=%d", stats.Makespan.Round(time.Millisecond), stats.TicksFired, stats.TicksElided)
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, fig.Text())
 	if a.csvPath != "" {

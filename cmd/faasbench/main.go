@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		csLatency  = fs.Duration("coldstart-latency", 0, "override the ext-coldstart instance spin-up latency (0 = default 250ms)")
 		keepAlive  = fs.Duration("keepalive", 0, "pin ext-coldstart to one keep-alive TTL instead of the sweep (0 = sweep, negative = infinite)")
 		csPoolMB   = fs.Int("coldstart-pool-mb", 0, "bound each server's ext-coldstart warm-pool memory in MB (0 = unbounded)")
+		sweepW     = fs.Int("sweep-workers", 0, "bound the parallel sweep runner for grid experiments (0 = GOMAXPROCS, 1 = serial)")
 		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")
@@ -82,6 +83,9 @@ func run(args []string, stdout io.Writer) error {
 	if *csPoolMB < 0 {
 		return fmt.Errorf("-coldstart-pool-mb %d must be >= 0 (0 = unbounded)", *csPoolMB)
 	}
+	if *sweepW < 0 {
+		return fmt.Errorf("-sweep-workers %d must be >= 0 (0 = GOMAXPROCS)", *sweepW)
+	}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
@@ -106,6 +110,7 @@ func run(args []string, stdout io.Writer) error {
 	env.ColdStartLatency = *csLatency
 	env.ColdKeepAlive = *keepAlive
 	env.ColdPoolMB = *csPoolMB
+	env.SweepWorkers = *sweepW
 	fmt.Fprintf(stdout, "# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
 	for _, id := range ids {
 		start := time.Now()

@@ -349,7 +349,7 @@ func BuildWorkloadSource(spec WorkloadSpec) (Source, error) {
 }
 
 // streamOpts validates opts for the streaming entry points and returns
-// the policy. Firecracker mode needs the materialized launcher.
+// the policy.
 func streamOpts(opts Options) (Options, ghost.Policy, error) {
 	if opts.Cores == 0 {
 		opts.Cores = 8
@@ -359,9 +359,6 @@ func streamOpts(opts Options) (Options, ghost.Policy, error) {
 	}
 	if opts.Scheduler == "" {
 		opts.Scheduler = SchedulerHybrid
-	}
-	if opts.Firecracker {
-		return opts, nil, fmt.Errorf("faassched: Firecracker mode requires Simulate (microVM launches need the materialized workload)")
 	}
 	policy, err := newPolicy(opts)
 	if err != nil {
@@ -386,7 +383,7 @@ func SimulateStreamed(opts Options, src Source) (*Result, error) {
 		return nil, err
 	}
 	var set metrics.Set
-	kernel, err := runStream(opts, policy, src, &set)
+	kernel, fleet, err := runStream(opts, policy, src, &set)
 	if err != nil {
 		return nil, err
 	}
@@ -394,12 +391,17 @@ func SimulateStreamed(opts Options, src Source) (*Result, error) {
 		return nil, fmt.Errorf("faassched: empty workload")
 	}
 	sort.Slice(set.Records, func(i, j int) bool { return set.Records[i].ID < set.Records[j].ID })
-	return &Result{
+	res := &Result{
 		Scheduler:   opts.Scheduler,
 		Set:         set,
 		Makespan:    kernel.Makespan(),
 		Preemptions: set.TotalPreemptions(),
-	}, nil
+	}
+	if fleet != nil {
+		res.LaunchedVMs = fleet.Launched()
+		res.FailedVMs = fleet.Failed()
+	}
+	return res, nil
 }
 
 // StreamStats is a finished fixed-memory streaming simulation: counts,
@@ -453,7 +455,7 @@ func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
 		return nil, err
 	}
 	acc := metrics.NewAccumulator(pricing.Default())
-	kernel, err := runStream(opts, policy, src, acc)
+	kernel, _, err := runStream(opts, policy, src, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -472,10 +474,24 @@ func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
 }
 
 // runStream executes the shared streaming run: pooled tasks, lazy
-// admission, sink retirement.
-func runStream(opts Options, policy ghost.Policy, src Source, sink metrics.Sink) (*simkern.Kernel, error) {
-	return simrun.ExecStreamPooled(simkern.DefaultConfig(opts.Cores), policy, ghost.Config{}, src,
-		simrun.StreamConfig{Sink: sink})
+// admission, sink retirement. In Firecracker mode the fleet wrapper
+// draws boot tasks lazily from the source instead (one microVM per
+// invocation, lifecycle state pruned as VMs retire, refused launches
+// retired through the sink as Failed records), so long-horizon microVM
+// experiments no longer need the materialized launcher.
+func runStream(opts Options, policy ghost.Policy, src Source, sink metrics.Sink) (*simkern.Kernel, *firecracker.Fleet, error) {
+	kcfg := simkern.DefaultConfig(opts.Cores)
+	if opts.Firecracker {
+		fleet, err := firecracker.NewFleet(policy, firecracker.Config{ServerMemMB: opts.ServerMemMB})
+		if err != nil {
+			return nil, nil, err
+		}
+		k, err := simrun.ExecStream(kcfg, fleet, ghost.Config{}, fleet.Stream(src, sink),
+			simrun.StreamConfig{Sink: sink})
+		return k, fleet, err
+	}
+	k, err := simrun.ExecStreamPooled(kcfg, policy, ghost.Config{}, src, simrun.StreamConfig{Sink: sink})
+	return k, nil, err
 }
 
 // Dispatch re-exports the cluster-level dispatch policy selector.
@@ -532,6 +548,17 @@ type ClusterOptions struct {
 	// ColdStart configures the per-function warm-instance model. The zero
 	// value disables it and reproduces the pre-model results exactly.
 	ColdStart ColdStartOptions
+	// Shards partitions the fleet into contiguous server ranges executed
+	// as work units by the bounded worker pool (DESIGN.md §11). Zero
+	// means 4× the worker count. Results are bit-for-bit identical at any
+	// setting.
+	Shards int
+	// Workers bounds the fleet execution worker pool. Zero means
+	// GOMAXPROCS.
+	Workers int
+	// MetricsWindow is the sharded replay's per-window accumulator width
+	// (SimulateShardedReplay only). Zero means one hour.
+	MetricsWindow time.Duration
 }
 
 // ServerResult re-exports one server's share of a fleet simulation.
@@ -564,9 +591,10 @@ func (r *ClusterResult) Summary() string {
 	return fmt.Sprintf("cluster[%d×%d %s] %s", r.Servers, r.CoresPerServer, r.Dispatch, r.Result.Summary())
 }
 
-// SimulateCluster routes invs across a fleet and simulates every server
-// concurrently (one goroutine per server; results are deterministic for
-// given inputs regardless of interleaving).
+// SimulateCluster routes invs across a fleet and simulates the servers
+// on a bounded worker pool over contiguous shards (Shards/Workers;
+// results are deterministic for given inputs regardless of worker count
+// or interleaving).
 func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, error) {
 	if opts.Servers == 0 {
 		opts.Servers = 4
@@ -605,6 +633,8 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		Seed:      opts.Seed,
 		Streamed:  opts.Streamed,
 		ColdStart: opts.ColdStart,
+		Shards:    opts.Shards,
+		Workers:   opts.Workers,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
@@ -629,6 +659,107 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		CoresPerServer: opts.CoresPerServer,
 		PerServer:      cres.PerServer,
 		Assignment:     cres.Assignment,
+	}, nil
+}
+
+// ShardedStats is a finished sharded windowed fleet replay.
+type ShardedStats struct {
+	Scheduler Scheduler
+	Dispatch  Dispatch
+	// Servers and Shards echo the resolved topology.
+	Servers, Shards int
+	// Invocations is the total arrival count routed.
+	Invocations int
+	// Makespan is the fleet-wide last completion time.
+	Makespan time.Duration
+	// TicksFired / TicksElided aggregate the fleet's agent-tick counters.
+	TicksFired, TicksElided int64
+
+	acc *metrics.WindowedAccumulator
+}
+
+// WindowWidth returns the per-window sub-accumulator width.
+func (s *ShardedStats) WindowWidth() time.Duration { return s.acc.Width() }
+
+// WindowCount returns how many completion windows the replay spans.
+func (s *ShardedStats) WindowCount() int { return s.acc.Windows() }
+
+// Window returns window i's fixed-memory statistics.
+func (s *ShardedStats) Window(i int) *metrics.Accumulator { return s.acc.Window(i) }
+
+// Total returns the whole-run roll-up accumulator.
+func (s *ShardedStats) Total() *metrics.Accumulator { return s.acc.Total() }
+
+// Summary returns a one-line digest.
+func (s *ShardedStats) Summary() string {
+	return fmt.Sprintf("sharded[%d servers/%d shards %s/%s] %s",
+		s.Servers, s.Shards, s.Scheduler, s.Dispatch, s.acc.Total().Summary())
+}
+
+// SimulateShardedReplay streams src through the sharded lockstep fleet
+// engine (DESIGN.md §11): routing and simulation advance together under a
+// watermark protocol, each shard folds completions into a shard-local
+// windowed accumulator, and the shard accumulators merge pairwise in
+// shard order. Memory is O(shards × windows + active tasks) regardless of
+// the workload length — the entry point for provider-scale replays
+// (1,000 servers, multi-day ×10-volume traces) where even the streamed
+// fixed fleet would materialize gigabytes of routed slices. Results are
+// bit-for-bit identical at any Shards/Workers setting.
+func SimulateShardedReplay(opts ClusterOptions, src Source) (*ShardedStats, error) {
+	if opts.Servers == 0 {
+		opts.Servers = 4
+	}
+	if opts.CoresPerServer == 0 {
+		opts.CoresPerServer = 8
+	}
+	if opts.Scheduler == "" {
+		opts.Scheduler = SchedulerHybrid
+	}
+	if opts.Dispatch == "" {
+		opts.Dispatch = DispatchLeastLoaded
+	}
+	if opts.MetricsWindow == 0 {
+		opts.MetricsWindow = time.Hour
+	}
+	serverOpts := Options{
+		Cores:     opts.CoresPerServer,
+		Scheduler: opts.Scheduler,
+		FIFOCores: opts.FIFOCores,
+		TimeLimit: opts.TimeLimit,
+	}
+	// Validate the per-server configuration once, up front.
+	if _, err := newPolicy(serverOpts); err != nil {
+		return nil, err
+	}
+	rep, err := cluster.SimulateShardedWindowed(cluster.Config{
+		Servers:   opts.Servers,
+		Dispatch:  opts.Dispatch,
+		Seed:      opts.Seed,
+		ColdStart: opts.ColdStart,
+		Shards:    opts.Shards,
+		Workers:   opts.Workers,
+		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
+		Policy: func() ghost.Policy {
+			p, err := newPolicy(serverOpts)
+			if err != nil {
+				return nil // unreachable: serverOpts validated above
+			}
+			return p
+		},
+	}, workload.Source(src), pricing.Default(), opts.MetricsWindow)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedStats{
+		Scheduler:   opts.Scheduler,
+		Dispatch:    rep.Dispatch,
+		Servers:     rep.Servers,
+		Shards:      rep.Shards,
+		Invocations: rep.Invocations,
+		Makespan:    rep.Makespan,
+		TicksFired:  rep.TicksFired,
+		TicksElided: rep.TicksElided,
+		acc:         rep.Windowed,
 	}, nil
 }
 

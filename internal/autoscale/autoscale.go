@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/faassched/faassched/internal/cluster"
@@ -207,6 +208,12 @@ type Result struct {
 	// tick counters: boundaries actually woken vs boundaries the
 	// tick-elision pump proved no-op (ghost.Stats, DESIGN.md §9).
 	TicksFired, TicksElided int64
+	// PoolWorkers is how many pooled worker goroutines hosted the
+	// per-server runs — bounded by the peak live fleet, not by total
+	// launches (retired servers' workers are reused). This is a host
+	// execution observable and may vary between identical runs; the
+	// simulated outcome never depends on it.
+	PoolWorkers int
 	// Assignment maps each invocation index to its server, when
 	// Config.TrackAssignment was set.
 	Assignment []int
@@ -304,6 +311,59 @@ func (r *Result) Timeline(maxSteps int) string {
 	return string(b)
 }
 
+// workerPool reuses goroutines across server lifetimes. A long elastic
+// replay launches far more servers than are ever live at once; spawning
+// a raw goroutine per launch therefore scales the host cost with churn,
+// not with the fleet. submit runs fn on an idle pooled worker when one
+// exists and spawns a new one otherwise, so the goroutine count is
+// bounded by the peak number of concurrently live servers (every live
+// server must keep a dedicated worker — its channel-fed run blocks — so
+// no smaller bound is deadlock-free). Simulation results are unaffected:
+// which worker hosts a server cannot be observed by the run.
+type workerPool struct {
+	mu      sync.Mutex
+	idle    []chan func()
+	all     []chan func()
+	spawned int
+}
+
+// submit schedules fn on a pooled worker, preferring an idle one.
+func (p *workerPool) submit(fn func()) {
+	p.mu.Lock()
+	var w chan func()
+	if n := len(p.idle); n > 0 {
+		w = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+	} else {
+		w = make(chan func())
+		p.all = append(p.all, w)
+		p.spawned++
+		p.mu.Unlock()
+		go p.worker(w)
+	}
+	w <- fn
+}
+
+func (p *workerPool) worker(w chan func()) {
+	for fn := range w {
+		fn()
+		p.mu.Lock()
+		p.idle = append(p.idle, w)
+		p.mu.Unlock()
+	}
+}
+
+// close releases every pooled worker. Callers must not submit afterwards
+// and must have waited for all submitted work to finish.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	for _, w := range p.all {
+		close(w)
+	}
+	p.mu.Unlock()
+}
+
 // countingSink wraps a server's completion sink with the bookkeeping the
 // controller needs regardless of what the caller collects.
 type countingSink struct {
@@ -378,6 +438,10 @@ type controller struct {
 	lastDwn  time.Duration
 	events   []Event
 	assign   []int
+	// pool hosts the per-server runs: launched servers go onto reusable
+	// pooled workers, not raw goroutines, so host goroutine count tracks
+	// peak live fleet size rather than total launches.
+	pool workerPool
 }
 
 // validate applies Config defaulting and sanity checks.
@@ -490,6 +554,7 @@ func Run(cfg Config, src workload.Source) (*Result, error) {
 			<-sv.done
 		}
 	}
+	c.pool.close()
 	for _, sv := range c.servers {
 		if runErr == nil && sv.err != nil {
 			runErr = fmt.Errorf("autoscale: server %d: %w", sv.Index, sv.err)
@@ -558,7 +623,7 @@ func (c *controller) activate(t time.Duration) error {
 		sv.ch = make(chan cluster.Routed, chanBuf)
 		sv.done = make(chan struct{})
 		sv.started = true
-		go sv.run(c.cfg, policy)
+		c.pool.submit(func() { sv.run(c.cfg, policy) })
 		c.candidates = append(c.candidates, idx)
 		c.events = append(c.events, Event{Time: sv.ReadyAt, Kind: EventReady, Server: idx})
 	}
@@ -702,10 +767,11 @@ func (c *controller) evalDown(t time.Duration, justLaunched bool) {
 // finish assembles the Result after every server goroutine has drained.
 func (c *controller) finish(routed int) (*Result, error) {
 	res := &Result{
-		Dispatch:   c.cfg.Dispatch,
-		Policy:     c.cfg.Policy,
-		Routed:     routed,
-		Assignment: c.assign,
+		Dispatch:    c.cfg.Dispatch,
+		Policy:      c.cfg.Policy,
+		Routed:      routed,
+		Assignment:  c.assign,
+		PoolWorkers: c.pool.spawned,
 	}
 
 	// Fleet makespan first: surviving servers bill until it.

@@ -5,14 +5,16 @@
 //
 // Dispatch happens first and is fully deterministic (the dispatcher sees
 // only its own causal load model, never simulated server state), so the
-// per-server simulations are independent and run concurrently — one
-// goroutine per server — with a deterministic merge of the per-server
-// metric sets afterwards. Wall-clock therefore scales with available host
-// cores, not with fleet size. See DESIGN.md §5.
+// per-server simulations are independent and run concurrently — a bounded
+// worker pool drains contiguous server shards, each shard's servers run
+// sequentially on one worker — with a deterministic merge of the
+// per-server metric sets afterwards. Wall-clock therefore scales with
+// available host cores, not with fleet size. See DESIGN.md §5 and §11.
 package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -60,6 +62,56 @@ type Config struct {
 	// disabled model leaves routing and task demands byte-for-byte
 	// unchanged.
 	ColdStart ColdStartConfig
+	// Shards partitions the fleet into contiguous server ranges; each
+	// shard's servers run sequentially on one pooled worker and fold into
+	// a shard-local result before the deterministic cross-shard merge.
+	// Zero picks min(Servers, 4×Workers). Results are bit-for-bit
+	// independent of the shard count and of worker scheduling
+	// (DESIGN.md §11).
+	Shards int
+	// Workers bounds the worker pool draining the shard queue. Zero
+	// means GOMAXPROCS.
+	Workers int
+}
+
+// shardRanges splits n servers into at most shards contiguous [lo, hi)
+// ranges of near-equal size, in server order.
+func shardRanges(n, shards int) [][2]int {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	ranges := make([][2]int, 0, shards)
+	lo := 0
+	for i := 0; i < shards; i++ {
+		hi := lo + (n-lo)/(shards-i)
+		ranges = append(ranges, [2]int{lo, hi})
+		lo = hi
+	}
+	return ranges
+}
+
+// shardPlan resolves the Shards/Workers knobs against the fleet size.
+func shardPlan(servers, shards, workers int) ([][2]int, int, error) {
+	if shards < 0 {
+		return nil, 0, fmt.Errorf("cluster: Shards must be >= 0, got %d", shards)
+	}
+	if workers < 0 {
+		return nil, 0, fmt.Errorf("cluster: Workers must be >= 0, got %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if shards == 0 {
+		shards = 4 * workers
+	}
+	ranges := shardRanges(servers, shards)
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	return ranges, workers, nil
 }
 
 // ServerResult is one server's share of a fleet simulation.
@@ -218,17 +270,33 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 		}
 	}
 
-	// Phase 2: simulate every server concurrently.
+	// Phase 2: simulate the fleet on a bounded worker pool over server
+	// shards. Each shard's servers run sequentially on whichever worker
+	// claims it; results land at the server's own index, so worker
+	// scheduling cannot perturb the merge below.
+	shards, workers, err := shardPlan(cfg.Servers, cfg.Shards, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]ServerResult, cfg.Servers)
 	errs := make([]error, cfg.Servers)
+	jobs := make(chan [2]int)
 	var wg sync.WaitGroup
-	for s := 0; s < cfg.Servers; s++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(s int) {
+		go func() {
 			defer wg.Done()
-			results[s], errs[s] = runServer(s, cfg, policies[s], perServer[s])
-		}(s)
+			for r := range jobs {
+				for s := r[0]; s < r[1]; s++ {
+					results[s], errs[s] = runServer(s, cfg, policies[s], perServer[s])
+				}
+			}
+		}()
 	}
+	for _, r := range shards {
+		jobs <- r
+	}
+	close(jobs)
 	wg.Wait()
 	for s, err := range errs {
 		if err != nil {

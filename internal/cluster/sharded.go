@@ -1,0 +1,408 @@
+// Sharded streaming fleet: the fixed fleet's streamed mode materializes
+// every server's routed share before simulating (perServer slices), which
+// at provider scale — 1,000 servers × a ×10 24 h Azure window ≈ 90M
+// invocations — is gigabytes of slices before the first event fires.
+// SimulateSharded* instead stream routing and simulation together in
+// lockstep: a single router goroutine owns the arrival order (dispatch
+// stays causally deterministic, exactly as Simulate's phase 1), hands
+// each Routed invocation to the shard owning its server, and broadcasts
+// a watermark T once every arrival ≤ T has been handed over. Each shard
+// worker owns its servers' machines outright: on an arrival it admits
+// the task (simkern.AdmitTask, same pre-seeding-equivalent admit class
+// the feeder path uses), on a watermark it advances its servers to T in
+// server-index order, folding completions into a shard-local sink. When
+// the source drains, shards drain their machines and the shard results
+// merge in shard-index order (a pairwise metrics.MergeTree for the
+// windowed replay; an id-sorted record merge for the exact mode), so the
+// result is bit-for-bit independent of how the shard goroutines were
+// scheduled. See DESIGN.md §11.
+
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/faassched/faassched/internal/ghost"
+	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/pricing"
+	"github.com/faassched/faassched/internal/simkern"
+	"github.com/faassched/faassched/internal/simrun"
+	"github.com/faassched/faassched/internal/workload"
+)
+
+// shardMsg is one router→shard handoff: either a routed arrival for one
+// of the shard's servers, or a watermark releasing the shard to advance
+// every server's clock to mark.
+type shardMsg struct {
+	r      Routed
+	server int
+	mark   time.Duration
+	isMark bool
+}
+
+// shardChanBuf bounds each shard's in-flight handoffs. Watermarks act as
+// barriers, so the buffer only smooths bursts within one chunk.
+const shardChanBuf = 256
+
+// shardedServer is one live machine inside a shard worker. Servers are
+// created on first arrival, so fleet slots that never receive traffic
+// cost nothing — matching the flat path, where an empty share skips the
+// simulation entirely.
+type shardedServer struct {
+	inc         *simrun.Incremental
+	set         *metrics.Set // exact mode only
+	invocations int
+}
+
+// shardWorker owns servers [lo, hi) of the fleet.
+type shardWorker struct {
+	cfg      *Config
+	shard    int
+	lo, hi   int
+	policies []ghost.Policy
+	exact    bool
+	acc      *metrics.WindowedAccumulator // windowed mode's shard-local sink
+	servers  []*shardedServer
+	ch       chan shardMsg
+	err      error
+	makespan time.Duration
+	stats    ghost.Stats
+}
+
+// run consumes the shard's handoff stream until the router closes it,
+// then drains every machine. After a failure it keeps consuming (and
+// discarding) messages so the router never blocks on a dead shard.
+func (w *shardWorker) run(done chan<- struct{}) {
+	defer func() { done <- struct{}{} }()
+	for msg := range w.ch {
+		if w.err != nil {
+			continue
+		}
+		if msg.isMark {
+			w.runTo(msg.mark)
+		} else {
+			w.admit(msg.server, msg.r)
+		}
+	}
+	if w.err != nil {
+		return
+	}
+	for _, sv := range w.servers {
+		if sv == nil {
+			continue
+		}
+		if err := sv.inc.Drain(); err != nil {
+			w.err = err
+			return
+		}
+		if m := sv.inc.Makespan(); m > w.makespan {
+			w.makespan = m
+		}
+		st := sv.inc.Stats()
+		w.stats.Delivered += st.Delivered
+		w.stats.Commits += st.Commits
+		w.stats.Failed += st.Failed
+		w.stats.Ticks += st.Ticks
+		w.stats.TicksElided += st.TicksElided
+		w.stats.Migrations += st.Migrations
+	}
+}
+
+// admit creates the server on first arrival and hands it the task.
+func (w *shardWorker) admit(server int, r Routed) {
+	local := server - w.lo
+	sv := w.servers[local]
+	if sv == nil {
+		sv = &shardedServer{}
+		var sink metrics.Sink
+		if w.exact {
+			sv.set = &metrics.Set{}
+			sink = sv.set
+		} else {
+			sink = w.acc
+		}
+		inc, err := simrun.NewIncremental(w.cfg.Kernel, w.policies[server], w.cfg.Ghost, sink)
+		if err != nil {
+			w.err = err
+			return
+		}
+		sv.inc = inc
+		w.servers[local] = sv
+	}
+	t := r.applyColdStart(sv.inc.Pool().Get(r.Inv, simkern.TaskID(r.Idx+1)))
+	if err := sv.inc.Admit(t); err != nil {
+		w.err = err
+		return
+	}
+	sv.invocations++
+}
+
+// runTo advances every live server to the watermark in server-index
+// order — the fixed iteration order that makes the shard-local sink's
+// push stream deterministic.
+func (w *shardWorker) runTo(mark time.Duration) {
+	for _, sv := range w.servers {
+		if sv == nil {
+			continue
+		}
+		if err := sv.inc.RunTo(mark); err != nil {
+			w.err = err
+			return
+		}
+	}
+}
+
+// ShardedReplay summarizes a windowed streaming sharded fleet run.
+type ShardedReplay struct {
+	// Servers and Shards echo the resolved topology.
+	Servers, Shards int
+	// Dispatch that routed the workload.
+	Dispatch Dispatch
+	// Invocations is the total arrival count routed.
+	Invocations int
+	// Makespan is the fleet-wide last completion time.
+	Makespan time.Duration
+	// Windowed holds the merged per-window + whole-run metrics.
+	Windowed *metrics.WindowedAccumulator
+	// TicksFired / TicksElided aggregate the per-server enclaves' agent
+	// tick counters across the fleet.
+	TicksFired, TicksElided int64
+}
+
+// SimulateShardedWindowed streams src through a sharded fleet, folding
+// completions into one WindowedAccumulator per shard (width-checked,
+// billed at tariff) and merging the shard accumulators pairwise in shard
+// order. Memory is O(shards × windows + active tasks), independent of
+// the workload length — this is the entry point for the 1,000-server
+// ×10-volume multi-day replays.
+func SimulateShardedWindowed(cfg Config, src workload.Source, tariff pricing.Tariff, width time.Duration) (*ShardedReplay, error) {
+	workers, invocations, _, err := runSharded(cfg, src, false, tariff, width)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ShardedReplay{
+		Servers:     cfg.Servers,
+		Shards:      len(workers),
+		Dispatch:    cfg.Dispatch,
+		Invocations: invocations,
+	}
+	accs := make([]*metrics.WindowedAccumulator, len(workers))
+	for i, w := range workers {
+		accs[i] = w.acc
+		if w.makespan > rep.Makespan {
+			rep.Makespan = w.makespan
+		}
+		rep.TicksFired += w.stats.Ticks
+		rep.TicksElided += w.stats.TicksElided
+	}
+	if rep.Windowed, err = metrics.MergeTree(accs); err != nil {
+		return nil, err
+	}
+	if rep.Windowed == nil {
+		rep.Windowed, _ = metrics.NewWindowedAccumulator(tariff, width)
+	}
+	return rep, nil
+}
+
+// SimulateShardedExact streams src through a sharded fleet with an exact
+// per-server record Set, returning the same Result shape as Simulate —
+// records merged across shards and re-sorted by global invocation id, so
+// the output is bit-for-bit identical to the flat paths for any shard
+// count. This is the equivalence-test mode; it holds every record in
+// memory, so use the windowed entry point for long horizons.
+func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
+	workers, _, assignment, err := runSharded(cfg, src, true, pricing.Tariff{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Dispatch:   cfg.Dispatch,
+		Servers:    cfg.Servers,
+		PerServer:  make([]ServerResult, cfg.Servers),
+		Assignment: assignment,
+	}
+	for s := range res.PerServer {
+		res.PerServer[s].Server = s
+	}
+	for _, w := range workers {
+		if w.makespan > res.Makespan {
+			res.Makespan = w.makespan
+		}
+		for local, sv := range w.servers {
+			if sv == nil {
+				continue
+			}
+			s := w.lo + local
+			sr := &res.PerServer[s]
+			sr.Invocations = sv.invocations
+			sr.Set = *sv.set
+			sort.Slice(sr.Set.Records, func(a, b int) bool { return sr.Set.Records[a].ID < sr.Set.Records[b].ID })
+			sr.Makespan = sv.inc.Makespan()
+			sr.Preemptions = sr.Set.TotalPreemptions()
+			res.Preemptions += sr.Preemptions
+			res.Set.Records = append(res.Set.Records, sr.Set.Records...)
+		}
+	}
+	sort.Slice(res.Set.Records, func(i, j int) bool {
+		return res.Set.Records[i].ID < res.Set.Records[j].ID
+	})
+	return res, nil
+}
+
+// runSharded is the shared router + shard-worker engine. It returns the
+// finished workers (in shard order), the total invocation count, and the
+// per-invocation assignment (exact mode only).
+func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tariff, width time.Duration) ([]*shardWorker, int, []int, error) {
+	if cfg.Servers < 1 {
+		return nil, 0, nil, fmt.Errorf("cluster: Servers must be >= 1, got %d", cfg.Servers)
+	}
+	if cfg.Policy == nil {
+		return nil, 0, nil, fmt.Errorf("cluster: nil Policy factory")
+	}
+	if cfg.Kernel.Cores < 1 {
+		return nil, 0, nil, fmt.Errorf("cluster: Kernel.Cores must be >= 1, got %d", cfg.Kernel.Cores)
+	}
+	if src == nil {
+		return nil, 0, nil, fmt.Errorf("cluster: nil workload source")
+	}
+	if cfg.Dispatch == "" {
+		cfg.Dispatch = DispatchLeastLoaded
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Window < 0 {
+		return nil, 0, nil, fmt.Errorf("cluster: negative look-ahead window %v", cfg.Window)
+	}
+	chunk := cfg.Window
+	if chunk == 0 {
+		chunk = simrun.DefaultWindow
+	}
+	shards, _, err := shardPlan(cfg.Servers, cfg.Shards, cfg.Workers)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+
+	// Policies are built sequentially up front so factories need not be
+	// goroutine-safe, exactly as on the flat path.
+	policies := make([]ghost.Policy, cfg.Servers)
+	for s := range policies {
+		if policies[s] = cfg.Policy(); policies[s] == nil {
+			return nil, 0, nil, fmt.Errorf("cluster: Policy factory returned nil for server %d", s)
+		}
+	}
+
+	workers := make([]*shardWorker, len(shards))
+	serverShard := make([]int, cfg.Servers)
+	done := make(chan struct{})
+	for i, rg := range shards {
+		w := &shardWorker{
+			cfg:      &cfg,
+			shard:    i,
+			lo:       rg[0],
+			hi:       rg[1],
+			policies: policies,
+			exact:    exact,
+			servers:  make([]*shardedServer, rg[1]-rg[0]),
+			ch:       make(chan shardMsg, shardChanBuf),
+		}
+		if !exact {
+			if w.acc, err = metrics.NewWindowedAccumulator(tariff, width); err != nil {
+				return nil, 0, nil, err
+			}
+		}
+		for s := rg[0]; s < rg[1]; s++ {
+			serverShard[s] = i
+		}
+		workers[i] = w
+	}
+	for _, w := range workers {
+		go w.run(done)
+	}
+	closeAll := func() {
+		for _, w := range workers {
+			close(w.ch)
+		}
+		for range workers {
+			<-done
+		}
+	}
+
+	// The router replicates Simulate's phase 1 exactly — dispatch over
+	// the causal fleet model, warm-pool bookings — just one arrival at a
+	// time instead of over a materialized slice.
+	model := NewFleetModel(cfg.Servers, cfg.Kernel.Cores)
+	disp, err := NewDispatcher(cfg.Dispatch, cfg.Seed, model)
+	if err != nil {
+		closeAll()
+		return nil, 0, nil, err
+	}
+	var pools *WarmPools
+	if cfg.ColdStart.Enabled() {
+		pools = NewWarmPools(cfg.ColdStart, cfg.Servers)
+		if cfg.ColdStart.WarmFirst {
+			disp = WarmFirstDispatcher(disp, pools, model)
+		}
+	}
+	candidates := make([]int, cfg.Servers)
+	for s := range candidates {
+		candidates[s] = s
+	}
+
+	var assignment []int
+	idx := 0
+	lastArr := time.Duration(-1)
+	nextMark := chunk
+	var routeErr error
+	src(func(inv workload.Invocation) bool {
+		if inv.Arrival < lastArr {
+			routeErr = fmt.Errorf("cluster: invocations not sorted by arrival at index %d", idx)
+			return false
+		}
+		lastArr = inv.Arrival
+		// A watermark T is only safe once an arrival strictly beyond T
+		// proves every arrival ≤ T has been handed over.
+		for inv.Arrival > nextMark {
+			for _, w := range workers {
+				w.ch <- shardMsg{mark: nextMark, isMark: true}
+			}
+			nextMark += chunk
+		}
+		s := disp.Pick(inv, candidates)
+		if s < 0 || s >= cfg.Servers {
+			routeErr = fmt.Errorf("cluster: dispatch %q picked server %d of %d", cfg.Dispatch, s, cfg.Servers)
+			return false
+		}
+		var cold time.Duration
+		if pools == nil {
+			model.Assign(s, inv)
+		} else {
+			if pools.IsCold(s, inv, inv.Arrival) {
+				cold = cfg.ColdStart.Latency
+			}
+			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
+			pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+		}
+		if exact {
+			assignment = append(assignment, s)
+		}
+		workers[serverShard[s]].ch <- shardMsg{r: Routed{Inv: inv, Idx: idx, ColdStart: cold}, server: s}
+		idx++
+		return true
+	})
+	closeAll()
+	if routeErr != nil {
+		return nil, 0, nil, routeErr
+	}
+	if idx == 0 {
+		return nil, 0, nil, fmt.Errorf("cluster: empty workload")
+	}
+	for _, w := range workers {
+		if w.err != nil {
+			return nil, 0, nil, fmt.Errorf("cluster: shard %d (servers %d-%d): %w", w.shard, w.lo, w.hi-1, w.err)
+		}
+	}
+	return workers, idx, assignment, nil
+}

@@ -124,6 +124,13 @@ type Env struct {
 	// (the faasbench -coldstart-pool-mb knob). Zero means unbounded.
 	ColdPoolMB int
 
+	// SweepWorkers bounds the parallel sweep runner's worker pool (the
+	// faasbench -sweep-workers knob): grid experiments fan independent
+	// cells across this many goroutines and collate results in cell-index
+	// order, so the rendered figure is identical at any setting. Zero
+	// means GOMAXPROCS; one forces the serial path.
+	SweepWorkers int
+
 	mu  sync.Mutex
 	tr  *trace.Trace
 	w2  []workload.Invocation

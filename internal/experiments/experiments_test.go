@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -159,6 +160,84 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Error("Text missing id")
 			}
 		})
+	}
+}
+
+// TestSweepCollationOrder: the parallel sweep runner must collate cell
+// rows and notes in cell-index order no matter how the pool interleaves,
+// check arity through Figure.AddRow at collation, and report the first
+// error by index while leaving the figure untouched.
+func TestSweepCollationOrder(t *testing.T) {
+	e := NewEnv(ScaleQuick)
+	e.SweepWorkers = 8
+	fig := NewFigure("sweep-test", "collation order", "i", "val")
+	const n = 64
+	err := e.Sweep(fig, n, func(i int, c *Cell) error {
+		c.AddRow(strconv.Itoa(i), strconv.Itoa(i*i))
+		if i%16 == 0 {
+			c.Note("note %d", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != n {
+		t.Fatalf("collated %d rows, want %d", len(fig.Rows), n)
+	}
+	for i, row := range fig.Rows {
+		if row[0] != strconv.Itoa(i) || row[1] != strconv.Itoa(i*i) {
+			t.Fatalf("row %d = %v, out of cell-index order", i, row)
+		}
+	}
+	if len(fig.Notes) != 4 || fig.Notes[0] != "note 0" || fig.Notes[3] != "note 48" {
+		t.Fatalf("notes collated wrong: %v", fig.Notes)
+	}
+
+	failing := NewFigure("sweep-err", "first error by index", "i")
+	wantErr := "cell 3 exploded"
+	err = e.Sweep(failing, 8, func(i int, c *Cell) error {
+		if i >= 3 {
+			return fmt.Errorf("cell %d exploded", i)
+		}
+		c.AddRow(strconv.Itoa(i))
+		return nil
+	})
+	if err == nil || err.Error() != wantErr {
+		t.Fatalf("Sweep error = %v, want %q (lowest failing index)", err, wantErr)
+	}
+	if len(failing.Rows) != 0 {
+		t.Fatalf("failed sweep still collated %d rows", len(failing.Rows))
+	}
+	if err := e.Sweep(failing, 0, nil); err != nil {
+		t.Fatalf("empty sweep errored: %v", err)
+	}
+}
+
+// TestSweepMatchesSerial: a grid experiment rendered through the parallel
+// sweep pool must be byte-identical to the forced-serial run.
+func TestSweepMatchesSerial(t *testing.T) {
+	t.Parallel()
+	shared := testEnv(t)
+	serial := NewEnv(ScaleQuick)
+	serial.W2Max, serial.W10Max, serial.DiurnalMinutes = shared.W2Max, shared.W10Max, shared.DiurnalMinutes
+	serial.SweepWorkers = 1
+	parallel := NewEnv(ScaleQuick)
+	parallel.W2Max, parallel.W10Max, parallel.DiurnalMinutes = shared.W2Max, shared.W10Max, shared.DiurnalMinutes
+	parallel.SweepWorkers = 4
+	for _, id := range []string{"fig23", "ext-coldstart"} {
+		a, err := Run(serial, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(parallel, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Text() != b.Text() {
+			t.Errorf("%s: parallel sweep diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, a.Text(), b.Text())
+		}
 	}
 }
 

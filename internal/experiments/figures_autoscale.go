@@ -109,40 +109,55 @@ func ExtAutoscale(e *Env) (*Figure, error) {
 		"scheduler", "scaling", "window", "n", "p99_resp_ms", "p99_turn_s",
 		"exec_cost_usd", "servers_mean", "server_s", "infra_usd")
 	serverTariff := pricing.DefaultServer()
-	for _, s := range schedulers {
-		for _, sc := range scalings {
-			win, res, err := e.runAutoscaled(s.mk, sc.min, sc.max, sc.policy, spin, coresPer, width, src)
-			if err != nil {
-				return nil, fmt.Errorf("ext-autoscale %s/%s: %w", s.name, sc.name, err)
-			}
-			// An idle or all-failed tail still gets its per-window rows.
-			win.EnsureWindows(horizonWindows(minutes, width))
-			for w := 0; w < win.Windows(); w++ {
-				wa := win.Window(w)
-				lo, hi := time.Duration(w)*width, time.Duration(w+1)*width
-				ss := res.ServerSecondsIn(lo, hi)
-				fig.AddRow(s.name, sc.name, fmt.Sprintf("w%d", w),
-					fmt.Sprintf("%d", wa.Completed()),
-					accQuantile(wa, metrics.Response, 0.99),
-					accP99Sec(wa, metrics.Turnaround),
-					fmtUSD(wa.Cost()),
-					fmt.Sprintf("%.2f", ss/width.Seconds()),
-					fmt.Sprintf("%.0f", ss),
-					fmtUSD(serverTariff.Cost(ss)))
-			}
-			total := win.Total()
-			fig.AddRow(s.name, sc.name, "all",
-				fmt.Sprintf("%d", total.Completed()),
-				accQuantile(total, metrics.Response, 0.99),
-				accP99Sec(total, metrics.Turnaround),
-				fmtUSD(total.Cost()),
-				fmt.Sprintf("%.2f", res.MeanServers()),
-				fmt.Sprintf("%.0f", res.ServerSeconds),
-				fmtUSD(serverTariff.Cost(res.ServerSeconds)))
-			fig.Note("%s/%s fleet: %s | peak=%d launched=%d drained=%d | fleet@%v edges: %s | agent ticks: %s",
-				s.name, sc.name, res.Timeline(10), res.PeakServers, res.Launched(), res.Drained(),
-				width, fleetAtEdges(res, width, win.Windows()), tickNote(res.TicksFired, res.TicksElided))
+	// The 3×3 grid fans across the sweep pool: each scheduler × scaling
+	// cell is an independent fleet replay; collation keeps row order.
+	type gridCell struct {
+		s  int // scheduler index
+		sc int // scaling index
+	}
+	grid := make([]gridCell, 0, len(schedulers)*len(scalings))
+	for s := range schedulers {
+		for sc := range scalings {
+			grid = append(grid, gridCell{s: s, sc: sc})
 		}
+	}
+	err = e.Sweep(fig, len(grid), func(i int, c *Cell) error {
+		s, sc := schedulers[grid[i].s], scalings[grid[i].sc]
+		win, res, err := e.runAutoscaled(s.mk, sc.min, sc.max, sc.policy, spin, coresPer, width, src)
+		if err != nil {
+			return fmt.Errorf("ext-autoscale %s/%s: %w", s.name, sc.name, err)
+		}
+		// An idle or all-failed tail still gets its per-window rows.
+		win.EnsureWindows(horizonWindows(minutes, width))
+		for w := 0; w < win.Windows(); w++ {
+			wa := win.Window(w)
+			lo, hi := time.Duration(w)*width, time.Duration(w+1)*width
+			ss := res.ServerSecondsIn(lo, hi)
+			c.AddRow(s.name, sc.name, fmt.Sprintf("w%d", w),
+				fmt.Sprintf("%d", wa.Completed()),
+				accQuantile(wa, metrics.Response, 0.99),
+				accP99Sec(wa, metrics.Turnaround),
+				fmtUSD(wa.Cost()),
+				fmt.Sprintf("%.2f", ss/width.Seconds()),
+				fmt.Sprintf("%.0f", ss),
+				fmtUSD(serverTariff.Cost(ss)))
+		}
+		total := win.Total()
+		c.AddRow(s.name, sc.name, "all",
+			fmt.Sprintf("%d", total.Completed()),
+			accQuantile(total, metrics.Response, 0.99),
+			accP99Sec(total, metrics.Turnaround),
+			fmtUSD(total.Cost()),
+			fmt.Sprintf("%.2f", res.MeanServers()),
+			fmt.Sprintf("%.0f", res.ServerSeconds),
+			fmtUSD(serverTariff.Cost(res.ServerSeconds)))
+		c.Note("%s/%s fleet: %s | peak=%d launched=%d drained=%d | fleet@%v edges: %s | agent ticks: %s",
+			s.name, sc.name, res.Timeline(10), res.PeakServers, res.Launched(), res.Drained(),
+			width, fleetAtEdges(res, width, win.Windows()), tickNote(res.TicksFired, res.TicksElided))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Note("elastic fleet: %d..%d servers × %d cores, %v spin-up, drain-before-retire; dispatch=%s", minS, maxS, coresPer, spin, cluster.DispatchLeastLoaded)
 	fig.Note("exec_cost bills invocations (Lambda tariff); infra bills server uptime at $%.3f/h — the fixed row's infra is what elasticity saves", serverTariff.HourlyUSD)

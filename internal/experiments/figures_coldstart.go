@@ -75,56 +75,73 @@ func ExtColdStart(e *Env) (*Figure, error) {
 		"keep-alive TTL × scheduler × dispatch under the cold-start model: cold-start rate, warm hits, cost (beyond the paper)",
 		"ttl_s", "dispatch", "sched", "cold_n", "cold_rate_pct", "warm_hit_pct",
 		"cold_lat_s", "p99_response_s", "cost_usd")
-	for _, ttl := range e.coldTTLs() {
-		for _, d := range dispatches {
-			for _, s := range schedulers {
-				res, err := cluster.Simulate(cluster.Config{
-					Servers:  servers,
-					Dispatch: cluster.DispatchLeastLoaded,
-					Seed:     e.Seed,
-					Kernel:   simkern.DefaultConfig(coresPer),
-					Policy:   s.factory,
-					ColdStart: cluster.ColdStartConfig{
-						Latency:   latency,
-						KeepAlive: ttl,
-						PoolMemMB: e.ColdPoolMB,
-						WarmFirst: d.warmFirst,
-					},
-				}, invs)
-				if err != nil {
-					return nil, fmt.Errorf("ttl=%s×%s×%s: %w", fmtTTL(ttl), d.name, s.name, err)
-				}
-				completed := 0
-				var coldLat time.Duration
-				for _, r := range res.Set.Records {
-					if r.Failed {
-						continue
-					}
-					completed++
-					coldLat += r.ColdStart
-				}
-				coldN := res.Set.ColdStarts()
-				rate := 0.0
-				if completed > 0 {
-					rate = float64(coldN) / float64(completed)
-				}
-				p99Resp, err := res.Set.P99(metrics.Response)
-				if err != nil {
-					return nil, err
-				}
-				fig.AddRow(
-					fmtTTL(ttl),
-					d.name,
-					s.name,
-					fmt.Sprintf("%d", coldN),
-					fmt.Sprintf("%.2f", 100*rate),
-					fmt.Sprintf("%.2f", 100*(1-rate)),
-					fmtSec(coldLat.Seconds()),
-					fmtSec(p99Resp),
-					fmtUSD(res.Set.Cost(e.Tariff)),
-				)
+	// Flatten the TTL × dispatch × scheduler grid and fan the independent
+	// fleet replays across the sweep pool; collation preserves the nested
+	// loop's row order (TTL-major, scheduler-minor).
+	ttls := e.coldTTLs()
+	type gridCell struct {
+		ttl  time.Duration
+		d, s int
+	}
+	grid := make([]gridCell, 0, len(ttls)*len(dispatches)*len(schedulers))
+	for _, ttl := range ttls {
+		for d := range dispatches {
+			for s := range schedulers {
+				grid = append(grid, gridCell{ttl: ttl, d: d, s: s})
 			}
 		}
+	}
+	err = e.Sweep(fig, len(grid), func(i int, c *Cell) error {
+		ttl, d, s := grid[i].ttl, dispatches[grid[i].d], schedulers[grid[i].s]
+		res, err := cluster.Simulate(cluster.Config{
+			Servers:  servers,
+			Dispatch: cluster.DispatchLeastLoaded,
+			Seed:     e.Seed,
+			Kernel:   simkern.DefaultConfig(coresPer),
+			Policy:   s.factory,
+			ColdStart: cluster.ColdStartConfig{
+				Latency:   latency,
+				KeepAlive: ttl,
+				PoolMemMB: e.ColdPoolMB,
+				WarmFirst: d.warmFirst,
+			},
+		}, invs)
+		if err != nil {
+			return fmt.Errorf("ttl=%s×%s×%s: %w", fmtTTL(ttl), d.name, s.name, err)
+		}
+		completed := 0
+		var coldLat time.Duration
+		for _, r := range res.Set.Records {
+			if r.Failed {
+				continue
+			}
+			completed++
+			coldLat += r.ColdStart
+		}
+		coldN := res.Set.ColdStarts()
+		rate := 0.0
+		if completed > 0 {
+			rate = float64(coldN) / float64(completed)
+		}
+		p99Resp, err := res.Set.P99(metrics.Response)
+		if err != nil {
+			return err
+		}
+		c.AddRow(
+			fmtTTL(ttl),
+			d.name,
+			s.name,
+			fmt.Sprintf("%d", coldN),
+			fmt.Sprintf("%.2f", 100*rate),
+			fmt.Sprintf("%.2f", 100*(1-rate)),
+			fmtSec(coldLat.Seconds()),
+			fmtSec(p99Resp),
+			fmtUSD(res.Set.Cost(e.Tariff)),
+		)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Note("%d invocations per cell, %d servers × %d cores, %s cold-start latency; warm pool unbounded unless -coldstart-pool-mb is set",
 		len(invs), servers, coresPer, latency)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/workload"
 )
@@ -9,29 +10,33 @@ import (
 // plus overall cost) for fifo, cfs, and the hybrid over invs. Table1 and
 // ExtFullScale share it; only the workload differs.
 func summaryFigure(e *Env, id, title string, invs []workload.Invocation) (*Figure, error) {
-	type result struct {
-		name string
-		out  *RunOutput
+	// The three runs are independent; fan them across the sweep pool and
+	// assemble rows afterwards (each row crosses all three outputs, so the
+	// cells carry no rows — the outputs land in a slice by index).
+	hybridCfg := e.HybridConfig(invs)
+	base := e.Baselines()
+	mks := []func() ghost.Policy{
+		base["fifo"],
+		base["cfs"],
+		func() ghost.Policy { return newHybrid(hybridCfg) },
 	}
-	runs := make([]result, 0, 3)
-	for _, name := range []string{"fifo", "cfs"} {
-		out, err := e.RunPolicy(e.Baselines()[name](), invs, false)
+	fig := NewFigure(id, title, "metric", "fifo", "cfs", "ours")
+	runs := make([]*RunOutput, len(mks))
+	err := e.Sweep(fig, len(mks), func(i int, c *Cell) error {
+		out, err := e.RunPolicy(mks[i](), invs, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		runs = append(runs, result{name: name, out: out})
-	}
-	hybridRun, err := e.RunPolicy(newHybrid(e.HybridConfig(invs)), invs, false)
+		runs[i] = out
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	runs = append(runs, result{name: "ours", out: hybridRun})
-
-	fig := NewFigure(id, title, "metric", "fifo", "cfs", "ours")
 	row := func(label string, f func(metrics.Set) string) {
 		cells := []string{label}
 		for _, r := range runs {
-			cells = append(cells, f(r.out.Set))
+			cells = append(cells, f(r.Set))
 		}
 		fig.AddRow(cells...)
 	}

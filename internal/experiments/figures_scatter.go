@@ -25,29 +25,28 @@ func Fig23(e *Env) (*Figure, error) {
 
 	fig := NewFigure("fig23", "Cost vs p99 response time across schedulers (W2)",
 		"scheduler", "cost_usd", "p99_response_s")
-	addPoint := func(name string, out *RunOutput) error {
+	// One sweep cell per scheduler point; the hybrid rides as the last
+	// cell with its config precomputed outside the fan-out.
+	hybridCfg := e.HybridConfig(invs)
+	mk := make([]func() ghost.Policy, 0, len(names)+1)
+	for _, name := range names {
+		mk = append(mk, factories[name])
+	}
+	mk = append(mk, func() ghost.Policy { return newHybrid(hybridCfg) })
+	names = append(names, "hybrid")
+	err = e.Sweep(fig, len(names), func(i int, c *Cell) error {
+		out, err := e.RunPolicy(mk[i](), invs, false)
+		if err != nil {
+			return fmt.Errorf("fig23 %s: %w", names[i], err)
+		}
 		p99, err := out.Set.P99(metrics.Response)
 		if err != nil {
 			return err
 		}
-		fig.AddRow(name, fmtUSD(out.Set.Cost(e.Tariff)), fmtSec(p99))
+		c.AddRow(names[i], fmtUSD(out.Set.Cost(e.Tariff)), fmtSec(p99))
 		return nil
-	}
-	for _, name := range names {
-		out, err := e.RunPolicy(factories[name](), invs, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig23 %s: %w", name, err)
-		}
-		if err := addPoint(name, out); err != nil {
-			return nil, err
-		}
-	}
-	var hybridPolicy ghost.Policy = newHybrid(e.HybridConfig(invs))
-	out, err := e.RunPolicy(hybridPolicy, invs, false)
+	})
 	if err != nil {
-		return nil, err
-	}
-	if err := addPoint("hybrid", out); err != nil {
 		return nil, err
 	}
 	fig.Note("the hybrid should sit near the Pareto frontier: low cost at moderate p99 response")

@@ -1,0 +1,55 @@
+// Merge trees: fleet runs fold one accumulator per server (or per
+// shard), and a flat left-fold of thousands of them is both a serial
+// bottleneck and a long float-sum chain. MergeTree folds the slice
+// pairwise — neighbors first, then neighbor pairs, doubling the stride —
+// in a fixed order determined only by the slice indices, so the result
+// is bit-for-bit reproducible for a given partition no matter how the
+// producing workers were scheduled.
+
+package metrics
+
+// MergeTree folds accs into accs[0] by pairwise merges in index order:
+// stride 1 merges accs[i+1] into accs[i] for even i, stride 2 merges
+// accs[i+2] into accs[i] for i ≡ 0 (mod 4), and so on. Nil entries are
+// skipped (a shard that saw no work). It returns the surviving root, or
+// nil when accs is empty or all-nil. The slice is clobbered.
+func MergeTree(accs []*WindowedAccumulator) (*WindowedAccumulator, error) {
+	for stride := 1; stride < len(accs); stride *= 2 {
+		for i := 0; i+stride < len(accs); i += 2 * stride {
+			if accs[i] == nil {
+				accs[i] = accs[i+stride]
+				accs[i+stride] = nil
+				continue
+			}
+			if err := accs[i].Merge(accs[i+stride]); err != nil {
+				return nil, err
+			}
+			accs[i+stride] = nil
+		}
+	}
+	if len(accs) == 0 {
+		return nil, nil
+	}
+	return accs[0], nil
+}
+
+// MergeAccumulatorTree is MergeTree over whole-run accumulators.
+func MergeAccumulatorTree(accs []*Accumulator) (*Accumulator, error) {
+	for stride := 1; stride < len(accs); stride *= 2 {
+		for i := 0; i+stride < len(accs); i += 2 * stride {
+			if accs[i] == nil {
+				accs[i] = accs[i+stride]
+				accs[i+stride] = nil
+				continue
+			}
+			if err := accs[i].Merge(accs[i+stride]); err != nil {
+				return nil, err
+			}
+			accs[i+stride] = nil
+		}
+	}
+	if len(accs) == 0 {
+		return nil, nil
+	}
+	return accs[0], nil
+}

@@ -139,6 +139,46 @@ func (e *Engine) Tick() {
 	e.Dispatch()
 }
 
+// NextDecision reports the earliest instant at which Tick could change
+// scheduling state — the tick-elision horizon (ghost.HorizonTicker,
+// DESIGN.md §9). Quantum enforcement is pure wall time: a runner's
+// segment expires exactly at SegmentStart + quantum, independent of host
+// interference, and SegmentStart only moves inside committed transactions,
+// which all re-evaluate the horizon. Every runner contributes its expiry
+// (a sole runner past its quantum is still preempted and re-dispatched,
+// which records a real preemption); an idle core next to queued work
+// wants the very next boundary (Tick ends in Dispatch, covering a queued
+// task stranded by a failed commit). Run-to-completion FIFO (quantum
+// <= 0) never decides anything on a tick. A runner whose completion
+// message is in flight contributes a horizon whose tick then fails its
+// preempt harmlessly, exactly like the naive pump's boundary tick.
+func (e *Engine) NextDecision(now time.Duration) (time.Duration, bool) {
+	if e.quantum <= 0 {
+		return 0, false
+	}
+	var best time.Duration
+	found := false
+	idle := false
+	for _, c := range e.cores {
+		t := e.env.RunningTask(c)
+		if t == nil {
+			idle = true
+			continue
+		}
+		h := t.SegmentStart() + e.quantum
+		if h < now {
+			h = now
+		}
+		if !found || h < best {
+			best, found = h, true
+		}
+	}
+	if idle && e.q.Len() > 0 {
+		return now, true
+	}
+	return best, found
+}
+
 // Policy is the standalone ghost.Policy: a FIFO engine spanning every core
 // in the enclave.
 type Policy struct {
@@ -147,8 +187,9 @@ type Policy struct {
 }
 
 var (
-	_ ghost.Policy = (*Policy)(nil)
-	_ ghost.Ticker = (*Policy)(nil)
+	_ ghost.Policy        = (*Policy)(nil)
+	_ ghost.Ticker        = (*Policy)(nil)
+	_ ghost.HorizonTicker = (*Policy)(nil)
 )
 
 // New returns a standalone FIFO policy.
@@ -197,3 +238,10 @@ func (p *Policy) TickEvery() time.Duration {
 
 // OnTick implements ghost.Ticker.
 func (p *Policy) OnTick() { p.engine.Tick() }
+
+// NextDecision implements ghost.HorizonTicker: the engine's analytic
+// quantum-expiry horizon. Pure FIFO reports no decisions (it has no tick
+// at all — TickEvery is zero).
+func (p *Policy) NextDecision(now time.Duration) (time.Duration, bool) {
+	return p.engine.NextDecision(now)
+}

@@ -61,11 +61,13 @@ type StreamConfig struct {
 // scalar observables (makespan, per-core counters); per-task results live
 // in cfg.Sink.
 //
-// Precondition: the policy must not use Env.AbortTask. Aborted tasks emit
-// no TASK_DEAD, so the retirer would never sink their Failed record — the
+// Precondition: the policy must not use Env.AbortTask — unless it retires
+// every aborted task's Failed record into the sink itself. Aborted tasks
+// emit no TASK_DEAD, so the retirer would never sink their record — the
 // materialized path's Collect does report them, and the two dataflows
-// would silently diverge. This is why the facade rejects Firecracker mode
-// (the one aborting caller) on the streaming entry points.
+// would silently diverge. The Firecracker fleet (the one aborting caller)
+// discharges the obligation in streaming mode by pushing the refused
+// launch's Failed record directly (firecracker.Fleet.Stream).
 func ExecStream(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, src TaskSource, cfg StreamConfig) (*simkern.Kernel, error) {
 	if cfg.Sink == nil {
 		return nil, errors.New("simrun: ExecStream needs a Sink")

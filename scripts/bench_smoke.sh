@@ -1,17 +1,32 @@
 #!/bin/sh
-# CI guard for the tick-elision event kernel (DESIGN.md §9): runs
-# BenchmarkCFSSimulation once and fails if its events/run metric climbs
-# back above a generous ceiling — i.e. if a change accidentally
-# reintroduces the every-boundary tick pump. The elided kernel runs the
-# 500-task benchmark in ~4k events; the naive pump needs ~137k; the
-# default ceiling of 40000 leaves ~10x headroom for legitimate workload
-# or policy changes while still catching a pump regression outright.
+# CI guards for the simulator's performance substrate.
 #
-#   ./scripts/bench_smoke.sh          # default ceiling
-#   ./scripts/bench_smoke.sh 60000    # custom ceiling
+# Gate 1 — tick-elision (DESIGN.md §9): runs BenchmarkCFSSimulation once
+# and fails if its events/run metric climbs back above a generous
+# ceiling — i.e. if a change accidentally reintroduces the
+# every-boundary tick pump. The elided kernel runs the 500-task
+# benchmark in ~4k events; the naive pump needs ~137k; the default
+# ceiling of 40000 leaves ~10x headroom for legitimate workload or
+# policy changes while still catching a pump regression outright.
+#
+# Gate 2 — sharded-fleet regression (DESIGN.md §11): reruns the small
+# sharded-replay and sweep-runner benchmarks and diffs their ns/op
+# against the committed BENCH_baseline.json via benchfmt -diff, failing
+# on any regression beyond MAXPCT percent. The 24 h ×10 1,000-server
+# replay is excluded here — its baseline row shows up in the diff as
+# "only in old baseline", which the gate ignores. Both sides use
+# mean-of-3 iterations (bench_baseline.sh records the same protocol);
+# even so, multi-second timings on shared hardware drift, so the
+# threshold catches algorithmic regressions (a lost merge tree, an
+# accidental O(servers) scan per event), not percent-level drift — on a
+# noisy box pass a looser second argument.
+#
+#   ./scripts/bench_smoke.sh              # default ceiling + 20% gate
+#   ./scripts/bench_smoke.sh 60000 35     # custom ceiling, 35% gate
 set -e
 cd "$(dirname "$0")/.."
 CEILING="${1:-40000}"
+MAXPCT="${2:-20}"
 
 out=$(go test -run '^$' -bench 'BenchmarkCFSSimulation$' -benchtime 1x .)
 printf '%s\n' "$out"
@@ -27,4 +42,35 @@ printf '%s\n' "$out" | awk -v ceiling="$CEILING" '
       exit 1
     }
     printf "bench_smoke: events/run %s within ceiling %s\n", v, ceiling
+  }'
+
+if [ ! -f BENCH_baseline.json ]; then
+  echo "bench_smoke: BENCH_baseline.json missing; skipping sharded regression gate" >&2
+  exit 0
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+{
+  go test -run '^$' -bench 'BenchmarkShardedFleetReplay/100servers_x1_2h$' -benchtime 3x -timeout 20m .
+  go test -run '^$' -bench 'BenchmarkSweepRunner$' -benchtime 3x -timeout 20m .
+} | go run ./cmd/benchfmt > "$tmp"
+
+# Diff lines look like:
+#   BenchmarkShardedFleetReplay/100servers_x1_2h-8      <- header, no indent
+#     ns/op        3849812345 -> 3901234567  (+1.3%)    <- metric, indented
+# Headers for benchmarks present on only one side carry no metric lines.
+go run ./cmd/benchfmt -diff BENCH_baseline.json "$tmp" | awk -v max="$MAXPCT" '
+  /^[^ ]/ { bench = $1 }
+  $1 == "ns/op" && bench ~ /^Benchmark(ShardedFleetReplay|SweepRunner)/ {
+    pct = $NF
+    gsub(/[()%+]/, "", pct)
+    printf "bench_smoke: %-55s ns/op %+.1f%% (max +%s%%)\n", bench, pct, max
+    n++
+    if (pct + 0 > max + 0) bad = 1
+  }
+  END {
+    if (n == 0) { print "bench_smoke: no sharded ns/op deltas in diff — baseline stale?"; exit 1 }
+    if (bad) { print "bench_smoke: sharded benchmark regressed beyond threshold"; exit 1 }
+    printf "bench_smoke: %d sharded ns/op deltas within threshold\n", n
   }'

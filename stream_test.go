@@ -2,6 +2,7 @@ package faassched
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -123,11 +124,44 @@ func TestStreamedValidation(t *testing.T) {
 	if _, err := SimulateStreamed(Options{Scheduler: "bogus"}, SliceSource(invs)); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
-	if _, err := SimulateStreamed(Options{Firecracker: true}, SliceSource(invs)); err == nil {
-		t.Error("Firecracker streamed run accepted (needs materialized launcher)")
-	}
 	if _, err := SimulateAccumulated(Options{Cores: 1}, SliceSource(invs)); err == nil {
 		t.Error("1-core accumulated run accepted")
+	}
+}
+
+// TestStreamedFirecrackerMatchesMaterialized: the lazy microVM launcher
+// (fleet.Stream) must reproduce the materialized Launch walk bit for bit,
+// including the memory-wall path where refused launches are retired
+// through the sink as Failed records instead of metrics.Collect.
+func TestStreamedFirecrackerMatchesMaterialized(t *testing.T) {
+	t.Parallel()
+	invs := smallWorkload(t)
+	for _, memMB := range []int{0, 1000} { // default 512GB (no failures), 1GB wall
+		opts := Options{Cores: 4, Scheduler: SchedulerCFS, Firecracker: true, ServerMemMB: memMB}
+		mat, err := Simulate(opts, invs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := SimulateStreamed(opts, SliceSource(invs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(mat.Set.Records, func(i, j int) bool { return mat.Set.Records[i].ID < mat.Set.Records[j].ID })
+		if len(st.Set.Records) != len(mat.Set.Records) {
+			t.Fatalf("memMB=%d: streamed %d records, materialized %d", memMB, len(st.Set.Records), len(mat.Set.Records))
+		}
+		for i := range mat.Set.Records {
+			if st.Set.Records[i] != mat.Set.Records[i] {
+				t.Fatalf("memMB=%d: record %d differs:\n%+v\n%+v", memMB, i, st.Set.Records[i], mat.Set.Records[i])
+			}
+		}
+		if st.LaunchedVMs != mat.LaunchedVMs || st.FailedVMs != mat.FailedVMs {
+			t.Fatalf("memMB=%d: VM accounting differs: launched %d/%d failed %d/%d",
+				memMB, st.LaunchedVMs, mat.LaunchedVMs, st.FailedVMs, mat.FailedVMs)
+		}
+		if memMB == 1000 && st.FailedVMs == 0 {
+			t.Fatal("memory wall produced no failures; equivalence vacuous")
+		}
 	}
 }
 

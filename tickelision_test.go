@@ -22,6 +22,8 @@ import (
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/policy/cfs"
+	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/rr"
 	"github.com/faassched/faassched/internal/simkern"
 	"github.com/faassched/faassched/internal/simrun"
 	"github.com/faassched/faassched/internal/workload"
@@ -95,6 +97,13 @@ func TestTickElisionOracle(t *testing.T) {
 		mk   func() ghost.Policy
 	}{
 		{"cfs", func() ghost.Policy { return cfs.New(cfs.Params{}) }},
+		// fifo+quantum and rr elide through the fifo.Engine quantum-expiry
+		// horizon; their expiries are pure wall time, so interference
+		// coverage only exercises conservatism, never lateness.
+		{"fifo+quantum", func() ghost.Policy {
+			return fifo.New(fifo.Config{Quantum: 100 * time.Millisecond})
+		}},
+		{"rr", func() ghost.Policy { return rr.New(rr.Config{}) }},
 		{"hybrid", func() ghost.Policy {
 			return core.New(core.Config{FIFOCores: 4})
 		}},
