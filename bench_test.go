@@ -11,6 +11,8 @@ package faassched
 // figure via b.ReportMetric (cost ratios, p99 seconds, KS distances).
 
 import (
+	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -18,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/faassched/faassched/internal/cluster"
 	"github.com/faassched/faassched/internal/experiments"
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
@@ -328,14 +331,19 @@ func BenchmarkShardedFleetReplay(b *testing.B) {
 		name             string
 		servers, minutes int
 		rateScale        float64
+		dispatch         Dispatch
 	}{
-		{"100servers_x1_2h", 100, 120, 1},
-		{"1000servers_x10_24h", 1000, 1440, 10},
+		{"100servers_x1_2h", 100, 120, 1, DispatchRoundRobin},
+		{"1000servers_x10_24h", 1000, 1440, 10, DispatchRoundRobin},
+		// The 10k row routes least-loaded: the policy whose former
+		// O(servers) scan made the router the bottleneck at this scale,
+		// now answered by the fleet load index (DESIGN.md §12).
+		{"10000servers_x10_24h", 10000, 1440, 10, DispatchLeastLoaded},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			if tc.servers >= 1000 && os.Getenv("FAASSCHED_BIGBENCH") == "" {
-				b.Skip("set FAASSCHED_BIGBENCH=1 for the 24 h ×10 1,000-server replay (~90M invocations, minutes of wall time; scripts/bench_baseline.sh does)")
+				b.Skip("set FAASSCHED_BIGBENCH=1 for the 24 h ×10 1,000+-server replays (~90M invocations, minutes of wall time; scripts/bench_baseline.sh does)")
 			}
 			cfg := trace.DefaultConfig()
 			cfg.Seed = 1
@@ -355,7 +363,7 @@ func BenchmarkShardedFleetReplay(b *testing.B) {
 				rep, err = SimulateShardedReplay(ClusterOptions{
 					Servers:        tc.servers,
 					CoresPerServer: 8,
-					Dispatch:       DispatchRoundRobin,
+					Dispatch:       tc.dispatch,
 					Scheduler:      SchedulerHybrid,
 					Seed:           1,
 					MetricsWindow:  time.Hour,
@@ -484,5 +492,87 @@ func BenchmarkColdStartDispatch(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(invs)), "invocations")
 		})
+	}
+}
+
+// BenchmarkDispatchPick isolates one routing decision — Pick plus the
+// booking that updates the load index — for the load-dependent policies
+// across fleet sizes. The pre-index scans were O(servers) per pick, so
+// the 10k-server rows ran ~100× the 100-server rows; with the fleet load
+// index (DESIGN.md §12) the per-pick cost must stay near-flat
+// (O(cores·log servers)), which is the sub-linearity this benchmark
+// tracks in BENCH_baseline.json. The synthetic stream keeps ~70% of
+// lanes busy in steady state at every fleet size so picks always walk
+// populated busy buckets.
+func BenchmarkDispatchPick(b *testing.B) {
+	const cores = 8
+	policies := []struct {
+		name      string
+		dispatch  Dispatch
+		warmFirst bool
+	}{
+		{"least-loaded", DispatchLeastLoaded, false},
+		{"join-idle-queue", DispatchJoinIdleQueue, false},
+		{"warm-first", DispatchLeastLoaded, true},
+	}
+	for _, tc := range policies {
+		for _, servers := range []int{100, 1000, 10000} {
+			b.Run(fmt.Sprintf("%s/%dservers", tc.name, servers), func(b *testing.B) {
+				model := cluster.NewFleetModel(servers, cores)
+				// Steady ~70% lane utilization: mean demand scales with the
+				// lane count so fleet sizes compare pick cost, not load.
+				interarrival := 10 * time.Microsecond
+				meanDemand := time.Duration(float64(servers*cores) * float64(interarrival) * 0.7)
+				var cfg cluster.ColdStartConfig
+				if tc.warmFirst {
+					// Keep-alive scaled to the stream (not DefaultKeepAlive,
+					// which never expires within a benchmark run and would
+					// grow per-server pools with b.N, timing pool scans
+					// instead of picks): ~4 demand lengths keeps a bounded,
+					// fleet-size-invariant warm population per server.
+					cfg = cluster.ColdStartConfig{
+						Latency:   meanDemand / 10,
+						KeepAlive: 4 * meanDemand,
+						WarmFirst: true,
+					}
+				}
+				pools := cluster.NewWarmPools(cfg, servers)
+				disp, err := cluster.NewDispatcher(cluster.Dispatch(tc.dispatch), 1, model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tc.warmFirst {
+					disp = cluster.WarmFirstDispatcher(disp, pools, model)
+				}
+				candidates := make([]int, servers)
+				for s := range candidates {
+					candidates[s] = s
+				}
+				rng := rand.New(rand.NewSource(9))
+				now := time.Duration(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					now += interarrival
+					inv := workload.Invocation{
+						FuncID:   rng.Intn(512) + 1,
+						Arrival:  now,
+						Duration: meanDemand/2 + time.Duration(rng.Int63n(int64(meanDemand))),
+						MemMB:    128,
+					}
+					s := disp.Pick(inv, candidates)
+					if !cfg.Enabled() {
+						model.Assign(s, inv)
+						continue
+					}
+					var cold time.Duration
+					if pools.IsCold(s, inv, inv.Arrival) {
+						cold = cfg.Latency
+					}
+					finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
+					pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+				}
+			})
+		}
 	}
 }

@@ -625,6 +625,9 @@ func (c *controller) activate(t time.Duration) error {
 		sv.started = true
 		c.pool.submit(func() { sv.run(c.cfg, policy) })
 		c.candidates = append(c.candidates, idx)
+		// Keep the model's indexed dispatch set equal to the candidate
+		// slice: launches sit outside it until they activate here.
+		c.model.SetEligible(idx, true, t)
 		c.events = append(c.events, Event{Time: sv.ReadyAt, Kind: EventReady, Server: idx})
 	}
 	return nil
@@ -675,10 +678,9 @@ func (c *controller) signal(t time.Duration) float64 {
 	if c.cfg.Policy == PolicyQueueDepth {
 		return float64(c.track.total) / lanes
 	}
-	busy := 0
-	for _, s := range c.candidates {
-		busy += c.model.BusyLanes(s, t)
-	}
+	// The eligible set is exactly c.candidates, so the load index's busy
+	// aggregate replaces the per-arrival fleet scan.
+	busy := c.model.EligibleBusyLanes(t)
 	return float64(busy) / lanes
 }
 
@@ -749,6 +751,7 @@ func (c *controller) evalDown(t time.Duration, justLaunched bool) {
 		sv.DrainAt = t
 		i := sort.SearchInts(c.candidates, best)
 		c.candidates = append(c.candidates[:i], c.candidates[i+1:]...)
+		c.model.SetEligible(best, false, t)
 		c.draining = append(c.draining, best)
 		c.track.drop(best)
 		if c.pools != nil {

@@ -83,12 +83,16 @@ func keyOf(inv workload.Invocation) funcKey {
 
 // warmInstance is one tracked instance on one server. It is busy until
 // freeAt (the booked completion under the lane model), then idle until
-// expireAt.
+// expireAt. server and seq exist for the warm index: seq advances on
+// every rebooking/eviction so pending index transitions for a previous
+// life of the instance are recognizably stale.
 type warmInstance struct {
 	key      funcKey
 	freeAt   time.Duration
 	expireAt time.Duration
 	memMB    int
+	server   int32
+	seq      uint32
 }
 
 // serverPool is one server's tracked instances, in registration order —
@@ -97,7 +101,7 @@ type warmInstance struct {
 // the keep-alive TTL bounds them, and even unbounded they cannot exceed
 // the server's peak per-function concurrency times live functions.
 type serverPool struct {
-	insts []warmInstance
+	insts []*warmInstance
 	memMB int
 }
 
@@ -107,15 +111,28 @@ type serverPool struct {
 type WarmPools struct {
 	cfg   ColdStartConfig
 	pools []*serverPool
+	widx  *warmIndex // per-funcKey idle-warm bitmap; nil unless WarmFirst
 }
 
-// NewWarmPools returns empty pools for a fleet of the given size.
+// NewWarmPools returns empty pools for a fleet of the given size. Under
+// warm-first dispatch the pools also maintain the warm index so picks
+// walk only warm holders instead of every candidate.
 func NewWarmPools(cfg ColdStartConfig, servers int) *WarmPools {
 	w := &WarmPools{cfg: cfg, pools: make([]*serverPool, servers)}
+	if cfg.Enabled() && cfg.WarmFirst {
+		w.widx = newWarmIndex()
+	}
 	for s := range w.pools {
 		w.pools[s] = &serverPool{}
 	}
 	return w
+}
+
+// sync advances the warm index to now before any read or mutation at now.
+func (w *WarmPools) sync(now time.Duration) {
+	if w.widx != nil {
+		w.widx.advance(now)
+	}
 }
 
 // Servers returns the number of tracked servers.
@@ -132,6 +149,11 @@ func (w *WarmPools) AddServer() int {
 // its instances, so a later re-launch into the same fleet slot starts
 // cold. The slot itself stays valid.
 func (w *WarmPools) DropServer(s int) {
+	if w.widx != nil {
+		for _, in := range w.pools[s].insts {
+			w.widx.retire(in)
+		}
+	}
 	w.pools[s] = &serverPool{}
 }
 
@@ -150,10 +172,16 @@ func (p *serverPool) prune(now time.Duration) {
 	kept := p.insts[:0]
 	for _, in := range p.insts {
 		if in.freeAt <= now && in.expireAt <= now {
+			// The warm index needs no retire here: both of the instance's
+			// transitions are at or before now, so advance already applied
+			// them and no pending event can reference it.
 			p.memMB -= in.memMB
 			continue
 		}
 		kept = append(kept, in)
+	}
+	for i := len(kept); i < len(p.insts); i++ {
+		p.insts[i] = nil
 	}
 	p.insts = kept
 }
@@ -179,6 +207,7 @@ func (p *serverPool) warmIdx(key funcKey, now time.Duration) int {
 // HasWarm reports whether server s holds an idle, unexpired instance of
 // inv's function at time now — a routing there would be a warm hit.
 func (w *WarmPools) HasWarm(s int, inv workload.Invocation, now time.Duration) bool {
+	w.sync(now)
 	p := w.pools[s]
 	p.prune(now)
 	return p.warmIdx(keyOf(inv), now) >= 0
@@ -199,6 +228,7 @@ func (w *WarmPools) IsCold(s int, inv workload.Invocation, now time.Duration) bo
 // instance is busy — the invocation runs anyway but its instance is not
 // retained (it expires the moment it frees).
 func (w *WarmPools) Book(s int, inv workload.Invocation, now, finish time.Duration, cold bool) {
+	w.sync(now)
 	p := w.pools[s]
 	p.prune(now)
 	key := keyOf(inv)
@@ -210,12 +240,19 @@ func (w *WarmPools) Book(s int, inv workload.Invocation, now, finish time.Durati
 			// error; treat it as a cold start rather than corrupt state.
 			cold = true
 		} else {
-			p.insts[i].freeAt = finish
-			p.insts[i].expireAt = w.expireAt(finish)
+			in := p.insts[i]
+			if w.widx != nil {
+				w.widx.retire(in)
+			}
+			in.freeAt = finish
+			in.expireAt = w.expireAt(finish)
+			if w.widx != nil {
+				w.widx.track(in)
+			}
 			return
 		}
 	}
-	in := warmInstance{key: key, freeAt: finish, expireAt: w.expireAt(finish), memMB: inv.MemMB}
+	in := &warmInstance{key: key, freeAt: finish, expireAt: w.expireAt(finish), memMB: inv.MemMB, server: int32(s)}
 	if w.cfg.PoolMemMB > 0 {
 		for p.memMB+in.memMB > w.cfg.PoolMemMB {
 			evict := -1
@@ -231,16 +268,23 @@ func (w *WarmPools) Book(s int, inv workload.Invocation, now, finish time.Durati
 				in.expireAt = in.freeAt // run, but do not retain
 				break
 			}
+			if w.widx != nil {
+				w.widx.retire(p.insts[evict])
+			}
 			p.memMB -= p.insts[evict].memMB
 			p.insts = append(p.insts[:evict], p.insts[evict+1:]...)
 		}
 	}
 	p.insts = append(p.insts, in)
 	p.memMB += in.memMB
+	if w.widx != nil {
+		w.widx.track(in)
+	}
 }
 
 // WarmCount returns how many instances server s tracks at now (tests).
 func (w *WarmPools) WarmCount(s int, now time.Duration) int {
+	w.sync(now)
 	p := w.pools[s]
 	p.prune(now)
 	return len(p.insts)
@@ -248,6 +292,7 @@ func (w *WarmPools) WarmCount(s int, now time.Duration) int {
 
 // PoolMemMB returns server s's tracked instance memory at now (tests).
 func (w *WarmPools) PoolMemMB(s int, now time.Duration) int {
+	w.sync(now)
 	p := w.pools[s]
 	p.prune(now)
 	return p.memMB
@@ -266,6 +311,20 @@ type warmFirstDispatch struct {
 }
 
 func (d *warmFirstDispatch) Pick(inv workload.Invocation, candidates []int) int {
+	if w := d.pools.widx; w != nil {
+		if ix := d.model.index(inv.Arrival); ix.usable(len(candidates), inv.Arrival) {
+			// Indexed path: walk only the servers holding idle warm state
+			// for this function instead of probing every candidate, then
+			// hand cold placement to the wrapped policy — which is itself
+			// indexed, so warm-first adds no fleet scan on either branch.
+			// Same winner, same RNG/cursor stream, as the linear scan below.
+			w.advance(inv.Arrival)
+			if s, ok := w.best(keyOf(inv), ix); ok {
+				return s
+			}
+			return d.inner.Pick(inv, candidates)
+		}
+	}
 	best, bestLoad := -1, time.Duration(0)
 	for _, s := range candidates {
 		if !d.pools.HasWarm(s, inv, inv.Arrival) {

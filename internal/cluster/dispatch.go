@@ -46,16 +46,38 @@ func Dispatches() []Dispatch {
 type FleetModel struct {
 	cores    int
 	laneFree [][]time.Duration // [server][lane] -> time the lane frees
+	elig     []bool            // target indexed dispatch set (see SetEligible)
+	eligN    int
+	idx      *loadIndex // load index (DESIGN.md §12); nil until first indexed read
 }
 
 // NewFleetModel returns a model of the given fixed starting fleet; every
-// server's lanes are free from time zero.
+// server's lanes are free from time zero and every server is eligible
+// for indexed dispatch.
 func NewFleetModel(servers, cores int) *FleetModel {
-	m := &FleetModel{cores: cores, laneFree: make([][]time.Duration, servers)}
+	m := &FleetModel{
+		cores:    cores,
+		laneFree: make([][]time.Duration, servers),
+		elig:     make([]bool, servers),
+		eligN:    servers,
+	}
 	for s := range m.laneFree {
 		m.laneFree[s] = make([]time.Duration, cores)
+		m.elig[s] = true
 	}
 	return m
+}
+
+// index returns the load index advanced to now, materializing it from
+// the lane model on first use. Fleets whose dispatch policy and scaling
+// never consult the index (random or round-robin routing over a fixed
+// fleet) therefore pay none of its per-booking maintenance.
+func (m *FleetModel) index(now time.Duration) *loadIndex {
+	if m.idx == nil {
+		m.idx = buildLoadIndex(m.laneFree, m.elig, m.cores, now)
+	}
+	m.idx.advance(now)
+	return m.idx
 }
 
 // Servers returns the number of modeled servers.
@@ -66,14 +88,51 @@ func (m *FleetModel) Cores() int { return m.cores }
 
 // AddServer grows the fleet by one server whose lanes free at readyAt (a
 // server cannot have run anything before it finished spinning up). It
-// returns the new server's index.
+// returns the new server's index. Added servers start outside the
+// indexed dispatch set; the autoscaler opts them in via SetEligible when
+// they activate.
 func (m *FleetModel) AddServer(readyAt time.Duration) int {
 	lanes := make([]time.Duration, m.cores)
 	for l := range lanes {
 		lanes[l] = readyAt
 	}
 	m.laneFree = append(m.laneFree, lanes)
+	m.elig = append(m.elig, false)
+	if m.idx != nil {
+		m.idx.addServer(readyAt)
+	}
 	return len(m.laneFree) - 1
+}
+
+// SetEligible marks server s in or out of the indexed dispatch set as of
+// decision time now. The caller must keep this set equal to the
+// candidate slice it passes to Pick; the fixed fleets never call it (the
+// whole starting fleet is eligible), the autoscaler calls it at activate
+// and at drain.
+func (m *FleetModel) SetEligible(s int, eligible bool, now time.Duration) {
+	if m.elig[s] == eligible {
+		return
+	}
+	m.elig[s] = eligible
+	if eligible {
+		m.eligN++
+	} else {
+		m.eligN--
+	}
+	if m.idx != nil {
+		m.idx.advance(now)
+		m.idx.setEligible(s, eligible)
+	}
+}
+
+// EligibleCount returns the size of the indexed dispatch set.
+func (m *FleetModel) EligibleCount() int { return m.eligN }
+
+// EligibleBusyLanes returns Σ BusyLanes(s, now) over the eligible set in
+// O(expired lanes) — the autoscaler's utilization-signal numerator
+// without the per-arrival fleet scan.
+func (m *FleetModel) EligibleBusyLanes(now time.Duration) int {
+	return int(m.index(now).eligBusy)
 }
 
 // Outstanding returns server s's dispatched-but-unfinished work at time now
@@ -136,7 +195,11 @@ func (m *FleetModel) AssignDemand(s int, arrival, demand time.Duration) time.Dur
 	if lanes[best] > start {
 		start = lanes[best]
 	}
+	old := lanes[best]
 	lanes[best] = start + demand
+	if m.idx != nil {
+		m.idx.assigned(s, best, old, lanes[best], arrival)
+	}
 	return lanes[best]
 }
 
@@ -148,6 +211,11 @@ func (m *FleetModel) AssignDemand(s int, arrival, demand time.Duration) time.Dur
 // passes only the ready, non-draining subset — with the full set the
 // decisions (and consumed random numbers) are identical to the fixed-fleet
 // dispatcher, which is what pins the min=max golden digests.
+//
+// The load-dependent policies answer from the fleet load index when the
+// candidate slice is the model's eligible set (the routing loops and the
+// autoscaler maintain that invariant — see FleetModel.SetEligible); any
+// other subset takes the original linear scan, which remains exact.
 type Dispatcher interface {
 	Pick(inv workload.Invocation, candidates []int) int
 }
@@ -175,6 +243,12 @@ type leastLoadedDispatch struct {
 }
 
 func (d *leastLoadedDispatch) Pick(inv workload.Invocation, candidates []int) int {
+	if ix := d.model.index(inv.Arrival); ix.usable(len(candidates), inv.Arrival) {
+		if s, ok := ix.leastLoaded(); ok {
+			return s
+		}
+	}
+	// Linear fallback for candidate slices that are not the eligible set.
 	best, bestLoad := candidates[0], time.Duration(-1)
 	for _, s := range candidates {
 		load := d.model.Outstanding(s, inv.Arrival)
@@ -191,6 +265,14 @@ type joinIdleQueueDispatch struct {
 }
 
 func (d *joinIdleQueueDispatch) Pick(inv workload.Invocation, candidates []int) int {
+	if ix := d.model.index(inv.Arrival); ix.usable(len(candidates), inv.Arrival) {
+		if s, ok := ix.longestIdle(); ok {
+			return s
+		}
+		// No eligible server idle: same random fallback, same RNG stream,
+		// as the linear scan below finding no idle candidate.
+		return candidates[d.rng.Intn(len(candidates))]
+	}
 	best, bestSince, found := 0, time.Duration(0), false
 	for _, s := range candidates {
 		since, idle := d.model.IdleSince(s, inv.Arrival)

@@ -47,8 +47,9 @@ type Policy struct {
 }
 
 var (
-	_ ghost.Policy = (*Policy)(nil)
-	_ ghost.Ticker = (*Policy)(nil)
+	_ ghost.Policy        = (*Policy)(nil)
+	_ ghost.Ticker        = (*Policy)(nil)
+	_ ghost.HorizonTicker = (*Policy)(nil)
 )
 
 // New returns an LAS policy.
@@ -119,6 +120,43 @@ func (p *Policy) OnTick() {
 		p.h.Push(got)
 	}
 	p.dispatch()
+}
+
+// NextDecision implements ghost.HorizonTicker. OnTick acts only when the
+// heap is non-empty and either a core sits idle (dispatch fills it now)
+// or a runner has out-attained the frozen queue head by more than the
+// quantum. A runner crosses that threshold no earlier than
+// max(now, segment start) + (head attained + quantum − consumed): attained
+// service grows at most at wall rate, so the estimate is conservative
+// under interference (early ticks no-op and re-arm, per the
+// HorizonTicker contract) but never late. The head only changes through
+// messages and commits, after which the enclave re-evaluates.
+func (p *Policy) NextDecision(now time.Duration) (time.Duration, bool) {
+	head, ok := p.h.Peek()
+	if !ok {
+		return 0, false
+	}
+	threshold := head.CPUConsumed() + p.cfg.Quantum
+	var best time.Duration
+	found := false
+	for _, c := range p.cores {
+		t := p.env.RunningTask(c)
+		if t == nil {
+			return now, true // idle core next to queued work: dispatch acts now
+		}
+		cross := now
+		if consumed := p.env.TaskCPUConsumed(t); consumed < threshold {
+			start := t.SegmentStart()
+			if start < now {
+				start = now
+			}
+			cross = start + (threshold - consumed)
+		}
+		if !found || cross < best {
+			best, found = cross, true
+		}
+	}
+	return best, found
 }
 
 func (p *Policy) dispatch() {

@@ -39,8 +39,9 @@ type Policy struct {
 }
 
 var (
-	_ ghost.Policy = (*Policy)(nil)
-	_ ghost.Ticker = (*Policy)(nil)
+	_ ghost.Policy        = (*Policy)(nil)
+	_ ghost.Ticker        = (*Policy)(nil)
+	_ ghost.HorizonTicker = (*Policy)(nil)
 )
 
 // New returns a Shinjuku-style policy.
@@ -87,6 +88,33 @@ func (p *Policy) TickEvery() time.Duration { return p.cfg.Tick }
 // work is queued.
 func (p *Policy) OnTick() {
 	p.preemptOverQuantum(len(p.cores))
+}
+
+// NextDecision implements ghost.HorizonTicker. With nothing queued
+// OnTick is a no-op; with queued work it acts as soon as a core is idle
+// (now) or a runner's segment reaches the quantum — a pure wall-time
+// horizon (segment start + quantum), exact like fifo+quantum's: segment
+// starts only move through commits, after which the enclave re-evaluates.
+func (p *Policy) NextDecision(now time.Duration) (time.Duration, bool) {
+	if p.q.Len() == 0 {
+		return 0, false
+	}
+	var best time.Duration
+	found := false
+	for _, c := range p.cores {
+		t := p.env.RunningTask(c)
+		if t == nil {
+			return now, true // idle core next to queued work: dispatch acts now
+		}
+		h := t.SegmentStart() + p.cfg.Quantum
+		if h < now {
+			h = now
+		}
+		if !found || h < best {
+			best, found = h, true
+		}
+	}
+	return best, found
 }
 
 func (p *Policy) dispatch() {

@@ -8,9 +8,9 @@
 # The set below pairs the substrate micro-benchmarks (dispatch mechanism,
 # end-to-end CFS event throughput, workload pipeline, facade) with a few
 # figure benchmarks as end-to-end sentinels, plus the sharded-fleet group:
-# the provider-scale replay (including the 24 h ×10 1,000-server case,
-# gated behind FAASSCHED_BIGBENCH and minutes of wall time) and the
-# parallel sweep runner. Figure and sharded benchmarks run 1 iteration
+# the provider-scale replay (including the 24 h ×10 cases at 1,000 and
+# 10,000 servers, gated behind FAASSCHED_BIGBENCH and minutes-to-hours
+# of wall time) and the parallel sweep runner. Figure and sharded benchmarks run 1 iteration
 # (they simulate whole experiments); micro-benchmarks use the default 1s
 # benchtime.
 set -e
@@ -26,9 +26,14 @@ FIGS='BenchmarkFig06Hybrid$|BenchmarkTable1Summary$|BenchmarkFig13Preemptions$|B
 # noisy on shared hardware to gate on. The 24 h case stays 1 iteration.
 {
   go test -run '^$' -bench "$MICRO" -benchmem .
+  # Fixed-b.N protocol shared with scripts/bench_smoke.sh: the pick
+  # stream is deterministic, so a pinned iteration count times the
+  # identical instruction stream on both sides of the diff.
+  go test -run '^$' -bench 'BenchmarkDispatchPick' -benchtime 2000000x -benchmem -timeout 20m .
   go test -run '^$' -bench "$FIGS" -benchtime 1x -benchmem .
   go test -run '^$' -bench 'BenchmarkShardedFleetReplay/100servers_x1_2h$' -benchtime 3x -benchmem -timeout 20m .
   go test -run '^$' -bench 'BenchmarkSweepRunner$' -benchtime 3x -benchmem -timeout 20m .
   FAASSCHED_BIGBENCH=1 go test -run '^$' -bench 'BenchmarkShardedFleetReplay/1000servers_x10_24h$' -benchtime 1x -benchmem -timeout 45m .
+  FAASSCHED_BIGBENCH=1 go test -run '^$' -bench 'BenchmarkShardedFleetReplay/10000servers_x10_24h$' -benchtime 1x -benchmem -timeout 3h .
 } | go run ./cmd/benchfmt > "$OUT"
 echo "wrote $OUT" >&2

@@ -72,6 +72,45 @@ func TestShardedMergeMatchesFlat(t *testing.T) {
 	}
 }
 
+// TestTenKServerShardDigests is the at-scale form of the digest claim:
+// a 10,000-server fleet routed by the indexed dispatchers produces the
+// same digest flat and at shards {1, 7}. The committed golden file pins
+// the 3-server matrix; this pins that the load index stays exact at the
+// fleet size it exists for, for both policies it serves (least-loaded
+// and join-idle-queue — warm-first rides the same index paths under
+// TestDispatcherMatchesNaivePick).
+func TestTenKServerShardDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-server digest runs are not short")
+	}
+	t.Parallel()
+	invs, err := BuildWorkload(WorkloadSpec{Seed: 7, Minutes: 2, MaxInvocations: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Dispatch{DispatchLeastLoaded, DispatchJoinIdleQueue} {
+		opts := ClusterOptions{
+			Servers: 10000, CoresPerServer: 2, Dispatch: d,
+			Scheduler: SchedulerHybrid, Seed: 1,
+		}
+		flat, err := SimulateCluster(opts, invs)
+		if err != nil {
+			t.Fatalf("%s flat: %v", d, err)
+		}
+		want := digestCluster(flat)
+		for _, shards := range []int{1, 7} {
+			opts.Shards, opts.Workers = shards, 4
+			res, err := SimulateCluster(opts, invs)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", d, shards, err)
+			}
+			if got := digestCluster(res); got != want {
+				t.Errorf("%s shards=%d: digest %.12s… != flat %.12s…", d, shards, got, want)
+			}
+		}
+	}
+}
+
 // TestShardedReplayMatchesCluster: the facade's sharded windowed replay
 // must agree with SimulateCluster on the observables an accumulator
 // keeps — completions, makespan, cost — for the same fleet and workload.

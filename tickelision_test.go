@@ -23,7 +23,9 @@ import (
 	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/policy/cfs"
 	"github.com/faassched/faassched/internal/policy/fifo"
+	"github.com/faassched/faassched/internal/policy/las"
 	"github.com/faassched/faassched/internal/policy/rr"
+	"github.com/faassched/faassched/internal/policy/shinjuku"
 	"github.com/faassched/faassched/internal/simkern"
 	"github.com/faassched/faassched/internal/simrun"
 	"github.com/faassched/faassched/internal/workload"
@@ -104,6 +106,12 @@ func TestTickElisionOracle(t *testing.T) {
 			return fifo.New(fifo.Config{Quantum: 100 * time.Millisecond})
 		}},
 		{"rr", func() ghost.Policy { return rr.New(rr.Config{}) }},
+		// las elides through an attained-service threshold horizon: under
+		// interference consumption lags wall time, so the horizon is
+		// conservative and must converge through no-op ticks. shinjuku's
+		// segment-start + quantum horizon is pure wall time like rr's.
+		{"las", func() ghost.Policy { return las.New(las.Config{}) }},
+		{"shinjuku", func() ghost.Policy { return shinjuku.New(shinjuku.Config{}) }},
 		{"hybrid", func() ghost.Policy {
 			return core.New(core.Config{FIFOCores: 4})
 		}},
