@@ -65,6 +65,17 @@ func run(r io.Reader, w io.Writer) error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
+	// Derive simulated-event throughput for benchmarks that report their
+	// event volume (b.ReportMetric(..., "events/run")): events/sec =
+	// events/run over seconds/op. Derived at encode time so the raw parse
+	// stays a faithful transcription of the go test output.
+	for _, res := range results {
+		events, ok := res.Metrics["events/run"]
+		nsOp := res.Metrics["ns/op"]
+		if ok && nsOp > 0 {
+			res.Metrics["events/sec"] = events / (nsOp / 1e9)
+		}
+	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	out := File{
 		Note:       "regenerate with scripts/bench_baseline.sh",
@@ -157,11 +168,14 @@ func Diff(oldFile, newFile File) string {
 		for _, m := range ms {
 			ov, inOld := o.Metrics[m]
 			nv, inNew := n.Metrics[m]
+			// One-sided metrics keep the aligned old -> new row shape with
+			// a "-" placeholder, so column-oriented consumers (and eyes)
+			// never hit a differently shaped line.
 			switch {
 			case !inOld:
-				fmt.Fprintf(&b, "  %-16s %37s  (new metric)\n", m, formatValue(nv))
+				fmt.Fprintf(&b, "  %-16s %16s -> %-16s (new metric)\n", m, "-", formatValue(nv))
 			case !inNew:
-				fmt.Fprintf(&b, "  %-16s %-16s (metric removed)\n", m, formatValue(ov))
+				fmt.Fprintf(&b, "  %-16s %16s -> %-16s (metric removed)\n", m, formatValue(ov), "-")
 			default:
 				fmt.Fprintf(&b, "  %-16s %16s -> %-16s %s\n", m, formatValue(ov), formatValue(nv), formatDelta(ov, nv))
 			}

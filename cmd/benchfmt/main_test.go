@@ -61,6 +61,14 @@ func TestRunEmitsSortedJSON(t *testing.T) {
 	if strings.Index(s, "BenchmarkCFSSimulation") > strings.Index(s, "BenchmarkKernelDispatch") {
 		t.Error("benchmarks not sorted by name")
 	}
+	// 137419 events / 0.073305123 s ≈ 1.875e6 events/sec, derived from
+	// events/run + ns/op.
+	if !strings.Contains(s, `"events/sec": 1874616.`) {
+		t.Errorf("derived events/sec missing or wrong: %s", s)
+	}
+	if strings.Count(s, `"events/sec"`) != 1 {
+		t.Errorf("events/sec should derive only for benchmarks reporting events/run: %s", s)
+	}
 }
 
 func TestDiff(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"github.com/faassched/faassched/internal/cliutil"
 	"github.com/faassched/faassched/internal/experiments"
 	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/obs"
 	"github.com/faassched/faassched/internal/workload"
 )
 
@@ -73,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		csPoolMB  = fs.Int("coldstart-pool-mb", 0, "per-server warm-pool memory bound in MB (0 = unbounded)")
 		warmFirst = fs.Bool("warm-first", false, "prefer servers holding a warm instance, fall back to -dispatch for cold placement")
 	)
+	obsf := cliutil.RegisterObs(fs)
 	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
@@ -100,6 +102,12 @@ func run(args []string, stdout io.Writer) error {
 		if *shardWindow <= 0 {
 			return fmt.Errorf("-shard-window %v must be positive", *shardWindow)
 		}
+	}
+	if err := obsf.Validate(); err != nil {
+		return err
+	}
+	if *compare && (obsf.TraceOut != "" || obsf.ReportOut != "") {
+		return fmt.Errorf("-trace-out/-run-report describe a single run: drop -compare")
 	}
 	coldStart := faassched.ColdStartOptions{
 		Latency:   *csLatency,
@@ -152,30 +160,45 @@ func run(args []string, stdout io.Writer) error {
 			}
 			src = faassched.SliceSource(invs)
 		}
-		return runSharded(stdout, src, shardedArgs{
+		rig, err := obsf.Start("clustersim", os.Stderr, 0)
+		if err != nil {
+			return err
+		}
+		if err := runSharded(stdout, src, shardedArgs{
 			servers: *servers, cores: *cores,
 			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
 			seed: *seed, fifoCores: *fifoCores, limit: *limit,
 			shards: *shards, workers: *workers, window: *shardWindow,
-			csvPath: *csvPath, coldStart: coldStart,
-		})
+			csvPath: *csvPath, coldStart: coldStart, rig: rig,
+		}); err != nil {
+			return err
+		}
+		return rig.Finish()
 	}
 
 	invs, err := faassched.LoadWorkload(*file, spec)
 	if err != nil {
 		return err
 	}
+	span := invs[len(invs)-1].Arrival
 	fmt.Fprintf(stdout, "workload: %d invocations spanning %s, total demand %s\n",
-		len(invs), invs[len(invs)-1].Arrival.Round(time.Second), workload.TotalWork(invs).Round(time.Second))
+		len(invs), span.Round(time.Second), workload.TotalWork(invs).Round(time.Second))
+	rig, err := obsf.Start("clustersim", os.Stderr, span)
+	if err != nil {
+		return err
+	}
 
 	if *asMode {
-		return runAutoscale(stdout, invs, autoscaleArgs{
+		if err := runAutoscale(stdout, invs, autoscaleArgs{
 			min: *asMin, max: *servers, cores: *cores,
 			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
 			policy: faassched.ScalePolicy(*asPolicy), spinUp: *asSpinUp, window: *asWindow,
 			seed: *seed, fifoCores: *fifoCores, limit: *limit, csvPath: *csvPath,
-			coldStart: coldStart,
-		})
+			coldStart: coldStart, rig: rig,
+		}); err != nil {
+			return err
+		}
+		return rig.Finish()
 	}
 
 	dispatches := []faassched.Dispatch{faassched.Dispatch(*dispatch)}
@@ -200,10 +223,12 @@ func run(args []string, stdout io.Writer) error {
 			ColdStart:      coldStart,
 			Shards:         *shards,
 			Workers:        *workers,
+			Obs:            rig.Obs,
 		}, invs)
 		if err != nil {
 			return err
 		}
+		fillReport(rig, "fleet", res.Makespan, len(invs))
 		resp, err := res.CDF(faassched.Response)
 		if err != nil {
 			return err
@@ -238,7 +263,22 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *csvPath)
 	}
-	return nil
+	return rig.Finish()
+}
+
+// fillReport stamps the run report's simulation-shape fields; kernel
+// events come from the counter registry so every mode reports them the
+// same way.
+func fillReport(rig *cliutil.ObsRig, mode string, makespan time.Duration, invocations int) {
+	if rig.Report == nil {
+		return
+	}
+	rig.Report.Mode = mode
+	rig.Report.SimSeconds = makespan.Seconds()
+	rig.Report.Invocations = invocations
+	if reg := rig.Obs.Registry(); reg != nil {
+		rig.Report.Events = uint64(reg.Counter(obs.CKernEvents).Value())
+	}
 }
 
 // autoscaleArgs bundles the resolved -autoscale flags.
@@ -253,6 +293,7 @@ type autoscaleArgs struct {
 	limit           time.Duration
 	csvPath         string
 	coldStart       faassched.ColdStartOptions
+	rig             *cliutil.ObsRig
 }
 
 // runAutoscale is the one-off elastic-fleet entry point (ROADMAP item):
@@ -273,10 +314,12 @@ func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs
 		SpinUp:         a.spinUp,
 		MetricsWindow:  a.window,
 		ColdStart:      a.coldStart,
+		Obs:            a.rig.Obs,
 	}, faassched.SliceSource(invs))
 	if err != nil {
 		return err
 	}
+	fillReport(a.rig, "autoscale", stats.Makespan, stats.Completed+stats.Failed)
 	fmt.Fprintf(stdout, "# autoscaled %d..%d×%d-core fleet simulated in %s\n# %s\n",
 		a.min, a.max, a.cores, time.Since(start).Round(time.Millisecond), stats.Summary())
 	fmt.Fprintf(stdout, "# fleet timeline: %s\n", stats.Timeline(20))
@@ -332,6 +375,7 @@ type shardedArgs struct {
 	window          time.Duration
 	csvPath         string
 	coldStart       faassched.ColdStartOptions
+	rig             *cliutil.ObsRig
 }
 
 // runSharded is the sharded windowed replay entry point: lockstep
@@ -350,9 +394,15 @@ func runSharded(stdout io.Writer, src faassched.Source, a shardedArgs) error {
 		Workers:        a.workers,
 		MetricsWindow:  a.window,
 		ColdStart:      a.coldStart,
+		Obs:            a.rig.Obs,
 	}, src)
 	if err != nil {
 		return err
+	}
+	fillReport(a.rig, "sharded", stats.Makespan, stats.Invocations)
+	if a.rig.Report != nil {
+		a.rig.Report.Events = stats.KernelEvents
+		a.rig.Report.PerShard = stats.PerShard
 	}
 	fmt.Fprintf(stdout, "# sharded %d×%d-core fleet (%d shards) replayed %d invocations in %s\n# %s\n",
 		stats.Servers, a.cores, stats.Shards, stats.Invocations,
@@ -380,6 +430,14 @@ func runSharded(stdout io.Writer, src faassched.Source, a shardedArgs) error {
 	}
 	row("all", stats.Total())
 	fig.Note("makespan %s | agent ticks fired=%d elided=%d", stats.Makespan.Round(time.Millisecond), stats.TicksFired, stats.TicksElided)
+	fig.Note("ghost msgs=%d commits=%d fails=%d migrations=%d | kernel events=%d",
+		stats.Ghost.Delivered, stats.Ghost.Commits, stats.Ghost.Failed,
+		stats.Ghost.Migrations, stats.KernelEvents)
+	for _, sh := range stats.PerShard {
+		fig.Note("shard %d: servers=%d invocations=%d events=%d (%.1f%%)",
+			sh.Shard, sh.Servers, sh.Invocations, sh.Events,
+			100*float64(sh.Events)/float64(max(stats.KernelEvents, 1)))
+	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, fig.Text())
 	if a.csvPath != "" {

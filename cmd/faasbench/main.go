@@ -45,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		quiet      = fs.Bool("q", false, "suppress table output (still writes CSVs)")
 	)
+	obsf := cliutil.RegisterObs(fs)
 	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
@@ -86,6 +87,9 @@ func run(args []string, stdout io.Writer) error {
 	if *sweepW < 0 {
 		return fmt.Errorf("-sweep-workers %d must be >= 0 (0 = GOMAXPROCS)", *sweepW)
 	}
+	if err := obsf.Validate(); err != nil {
+		return err
+	}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
@@ -111,6 +115,14 @@ func run(args []string, stdout io.Writer) error {
 	env.ColdKeepAlive = *keepAlive
 	env.ColdPoolMB = *csPoolMB
 	env.SweepWorkers = *sweepW
+	rig, err := obsf.Start("faasbench", os.Stderr, 0)
+	if err != nil {
+		return err
+	}
+	if rig.Report != nil {
+		rig.Report.Mode = scale.String()
+	}
+	runStart := time.Now()
 	fmt.Fprintf(stdout, "# faasbench scale=%s cores=%d experiments=%d\n", scale, env.Cores, len(ids))
 	for _, id := range ids {
 		start := time.Now()
@@ -118,11 +130,21 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		// Wall-clock telemetry per experiment: a trace span on the bench
+		// lane and a counter-registry gauge feeding the run report.
+		elapsed := time.Since(start)
+		rig.Obs.Tracer().Span("exp:"+fig.ID, 2, 0, start.Sub(runStart), elapsed)
+		if reg := rig.Obs.Registry(); reg != nil {
+			reg.Gauge("bench."+fig.ID+".wall_seconds").Add(elapsed.Seconds())
+		}
+		if pg := rig.Obs.Progress(); pg != nil {
+			pg.Done.Add(1)
+		}
 		if !*quiet {
 			fmt.Fprintln(stdout)
 			fmt.Fprint(stdout, fig.Text())
 		}
-		fmt.Fprintf(stdout, "# %s done in %s (%d rows)\n", fig.ID, time.Since(start).Round(time.Millisecond), len(fig.Rows))
+		fmt.Fprintf(stdout, "# %s done in %s (%d rows)\n", fig.ID, elapsed.Round(time.Millisecond), len(fig.Rows))
 		if *out != "" {
 			path := filepath.Join(*out, fig.ID+".csv")
 			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
@@ -130,5 +152,5 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	return nil
+	return rig.Finish()
 }

@@ -36,6 +36,7 @@ import (
 	"github.com/faassched/faassched/internal/firecracker"
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/obs"
 	"github.com/faassched/faassched/internal/policy/cfs"
 	"github.com/faassched/faassched/internal/policy/edf"
 	"github.com/faassched/faassched/internal/policy/fifo"
@@ -167,6 +168,10 @@ type Options struct {
 	Firecracker bool
 	// ServerMemMB caps microVM memory in Firecracker mode (default 512 GB).
 	ServerMemMB int
+	// Obs enables the observability layer (counters, trace export,
+	// progress heartbeats). Nil disables it entirely; observation never
+	// alters simulated behavior (DESIGN.md §13).
+	Obs *obs.Obs
 }
 
 // Result is a finished simulation's measurements.
@@ -295,11 +300,29 @@ func Simulate(opts Options, invs []Invocation) (*Result, error) {
 		policy = fleet
 		add = func(k *simkern.Kernel) error { return fleet.Launch(k, invs) }
 	}
-	kernel, err := simrun.Exec(simkern.DefaultConfig(opts.Cores), policy, ghost.Config{}, add)
+	kcfg, gcfg := simkern.DefaultConfig(opts.Cores), ghost.Config{}
+	if tr := opts.Obs.Tracer(); tr != nil {
+		kcfg.Probe = tr.KernelProbe(0)
+		gcfg.Probe = tr.GhostProbe(0)
+	}
+	var gstats ghost.Stats
+	kernel, err := simrun.ExecStats(kcfg, policy, gcfg, add, &gstats)
 	if err != nil {
 		return nil, err
 	}
 	set := metrics.Collect(kernel)
+	if tr := opts.Obs.Tracer(); tr != nil {
+		tr.TaskSet(0, &set)
+	}
+	if pg := opts.Obs.Progress(); pg != nil {
+		pg.Routed.Add(int64(len(invs)))
+		pg.Done.Add(int64(len(set.Records)))
+	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		reg.AddGhostStats(gstats)
+		reg.Counter(obs.CKernEvents).Add(int64(kernel.EventSeq()))
+		reg.Counter(obs.CInvocations).Add(int64(len(invs)))
+	}
 	res := &Result{
 		Scheduler:   opts.Scheduler,
 		Set:         set,
@@ -390,6 +413,9 @@ func SimulateStreamed(opts Options, src Source) (*Result, error) {
 	if len(set.Records) == 0 {
 		return nil, fmt.Errorf("faassched: empty workload")
 	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		reg.Counter(obs.CInvocations).Add(int64(len(set.Records)))
+	}
 	sort.Slice(set.Records, func(i, j int) bool { return set.Records[i].ID < set.Records[j].ID })
 	res := &Result{
 		Scheduler:   opts.Scheduler,
@@ -462,6 +488,9 @@ func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
 	if acc.Completed() == 0 {
 		return nil, fmt.Errorf("faassched: empty workload")
 	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		reg.Counter(obs.CInvocations).Add(int64(acc.Completed() + acc.FailedCount()))
+	}
 	return &StreamStats{
 		Scheduler:   opts.Scheduler,
 		Completed:   acc.Completed(),
@@ -480,18 +509,33 @@ func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
 // retired through the sink as Failed records), so long-horizon microVM
 // experiments no longer need the materialized launcher.
 func runStream(opts Options, policy ghost.Policy, src Source, sink metrics.Sink) (*simkern.Kernel, *firecracker.Fleet, error) {
-	kcfg := simkern.DefaultConfig(opts.Cores)
+	kcfg, gcfg := simkern.DefaultConfig(opts.Cores), ghost.Config{}
+	if tr := opts.Obs.Tracer(); tr != nil {
+		kcfg.Probe = tr.KernelProbe(0)
+		gcfg.Probe = tr.GhostProbe(0)
+	}
+	sink = opts.Obs.WrapSink(0, sink)
+	var gstats ghost.Stats
+	scfg := simrun.StreamConfig{Sink: sink, Stats: &gstats}
+	var k *simkern.Kernel
+	var fleet *firecracker.Fleet
+	var err error
 	if opts.Firecracker {
-		fleet, err := firecracker.NewFleet(policy, firecracker.Config{ServerMemMB: opts.ServerMemMB})
-		if err != nil {
+		if fleet, err = firecracker.NewFleet(policy, firecracker.Config{ServerMemMB: opts.ServerMemMB}); err != nil {
 			return nil, nil, err
 		}
-		k, err := simrun.ExecStream(kcfg, fleet, ghost.Config{}, fleet.Stream(src, sink),
-			simrun.StreamConfig{Sink: sink})
-		return k, fleet, err
+		k, err = simrun.ExecStream(kcfg, fleet, gcfg, fleet.Stream(src, sink), scfg)
+	} else {
+		k, err = simrun.ExecStreamPooled(kcfg, policy, gcfg, src, scfg)
 	}
-	k, err := simrun.ExecStreamPooled(kcfg, policy, ghost.Config{}, src, simrun.StreamConfig{Sink: sink})
-	return k, nil, err
+	if err != nil {
+		return nil, nil, err
+	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		reg.AddGhostStats(gstats)
+		reg.Counter(obs.CKernEvents).Add(int64(k.EventSeq()))
+	}
+	return k, fleet, nil
 }
 
 // Dispatch re-exports the cluster-level dispatch policy selector.
@@ -559,6 +603,10 @@ type ClusterOptions struct {
 	// MetricsWindow is the sharded replay's per-window accumulator width
 	// (SimulateShardedReplay only). Zero means one hour.
 	MetricsWindow time.Duration
+	// Obs enables the observability layer (counters, trace export,
+	// progress heartbeats). Nil disables it entirely; observation never
+	// alters simulated behavior (DESIGN.md §13).
+	Obs *obs.Obs
 }
 
 // ServerResult re-exports one server's share of a fleet simulation.
@@ -635,6 +683,7 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		ColdStart: opts.ColdStart,
 		Shards:    opts.Shards,
 		Workers:   opts.Workers,
+		Obs:       opts.Obs,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
@@ -662,6 +711,14 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 	}, nil
 }
 
+// GhostStats re-exports the per-enclave delegation counters (messages
+// delivered, commits, commit failures, fired vs elided agent ticks,
+// migrations), aggregated fleet-wide in ShardedStats.
+type GhostStats = ghost.Stats
+
+// ShardUtil re-exports one shard's share of a sharded replay.
+type ShardUtil = obs.ShardUtil
+
 // ShardedStats is a finished sharded windowed fleet replay.
 type ShardedStats struct {
 	Scheduler Scheduler
@@ -672,8 +729,16 @@ type ShardedStats struct {
 	Invocations int
 	// Makespan is the fleet-wide last completion time.
 	Makespan time.Duration
-	// TicksFired / TicksElided aggregate the fleet's agent-tick counters.
+	// Ghost aggregates the fleet's full delegation counters.
+	Ghost GhostStats
+	// TicksFired / TicksElided mirror Ghost.Ticks / Ghost.TicksElided
+	// (kept for existing callers).
 	TicksFired, TicksElided int64
+	// KernelEvents sums scheduled kernel events across servers.
+	KernelEvents uint64
+	// PerShard reports each shard's server range and share of
+	// invocations and kernel events, by shard index.
+	PerShard []ShardUtil
 
 	acc *metrics.WindowedAccumulator
 }
@@ -738,6 +803,7 @@ func SimulateShardedReplay(opts ClusterOptions, src Source) (*ShardedStats, erro
 		ColdStart: opts.ColdStart,
 		Shards:    opts.Shards,
 		Workers:   opts.Workers,
+		Obs:       opts.Obs,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
@@ -751,15 +817,18 @@ func SimulateShardedReplay(opts ClusterOptions, src Source) (*ShardedStats, erro
 		return nil, err
 	}
 	return &ShardedStats{
-		Scheduler:   opts.Scheduler,
-		Dispatch:    rep.Dispatch,
-		Servers:     rep.Servers,
-		Shards:      rep.Shards,
-		Invocations: rep.Invocations,
-		Makespan:    rep.Makespan,
-		TicksFired:  rep.TicksFired,
-		TicksElided: rep.TicksElided,
-		acc:         rep.Windowed,
+		Scheduler:    opts.Scheduler,
+		Dispatch:     rep.Dispatch,
+		Servers:      rep.Servers,
+		Shards:       rep.Shards,
+		Invocations:  rep.Invocations,
+		Makespan:     rep.Makespan,
+		Ghost:        rep.Stats,
+		TicksFired:   rep.TicksFired,
+		TicksElided:  rep.TicksElided,
+		KernelEvents: rep.Events,
+		PerShard:     rep.PerShard,
+		acc:          rep.Windowed,
 	}, nil
 }
 
@@ -815,6 +884,10 @@ type AutoscaleOptions struct {
 	// ColdStart configures the per-function warm-instance model; retiring
 	// a server destroys its warm pool. The zero value disables the model.
 	ColdStart ColdStartOptions
+	// Obs enables the observability layer (counters, trace export,
+	// progress heartbeats). Nil disables it entirely; observation never
+	// alters simulated behavior (DESIGN.md §13).
+	Obs *obs.Obs
 }
 
 // autoscaleConfig resolves opts into the internal autoscaler config.
@@ -852,6 +925,7 @@ func autoscaleConfig(opts AutoscaleOptions) (AutoscaleOptions, autoscale.Config,
 		Dispatch:  opts.Dispatch,
 		Seed:      opts.Seed,
 		ColdStart: opts.ColdStart,
+		Obs:       opts.Obs,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Sched: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)

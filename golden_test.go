@@ -20,11 +20,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+
+	"github.com/faassched/faassched/internal/obs"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json")
@@ -40,6 +43,22 @@ func goldenWorkload(t *testing.T) []Invocation {
 		t.Fatal(err)
 	}
 	return invs
+}
+
+// goldenObs builds a fully enabled observability bundle (counters,
+// tracing with per-core segments to io.Discard, progress atomics). The
+// golden matrix runs WITH observation on, so the committed digests prove
+// the obs layer is inert — enabling it changes no simulated decision
+// (DESIGN.md §13).
+func goldenObs(t *testing.T) *obs.Obs {
+	t.Helper()
+	tr := obs.NewTracer(io.Discard, obs.TraceConfig{Segments: true})
+	t.Cleanup(func() {
+		if err := tr.Close(); err != nil {
+			t.Errorf("golden tracer: %v", err)
+		}
+	})
+	return &obs.Obs{Counters: obs.NewRegistry(), Trace: tr, Prog: &obs.Progress{}}
 }
 
 // digestResult canonically serializes a Result's observable state.
@@ -75,9 +94,10 @@ func computeDigests(t *testing.T) map[string]string {
 	t.Helper()
 	invs := goldenWorkload(t)
 	out := map[string]string{}
+	o := goldenObs(t)
 
 	for _, sched := range Schedulers() {
-		res, err := Simulate(Options{Cores: 8, Scheduler: sched}, invs)
+		res, err := Simulate(Options{Cores: 8, Scheduler: sched, Obs: o}, invs)
 		if err != nil {
 			t.Fatalf("%s: %v", sched, err)
 		}
@@ -86,7 +106,7 @@ func computeDigests(t *testing.T) map[string]string {
 
 	// One Firecracker-mode run (spawns VMM/IO threads mid-simulation —
 	// the heaviest exercise of timer + arrival event interleaving).
-	fcres, err := Simulate(Options{Cores: 8, Scheduler: SchedulerHybrid, Firecracker: true}, invs)
+	fcres, err := Simulate(Options{Cores: 8, Scheduler: SchedulerHybrid, Firecracker: true, Obs: o}, invs)
 	if err != nil {
 		t.Fatalf("firecracker: %v", err)
 	}
@@ -94,7 +114,7 @@ func computeDigests(t *testing.T) map[string]string {
 
 	for _, d := range Dispatches() {
 		cres, err := SimulateCluster(ClusterOptions{
-			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1,
+			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1, Obs: o,
 		}, invs)
 		if err != nil {
 			t.Fatalf("cluster %s: %v", d, err)
@@ -103,7 +123,7 @@ func computeDigests(t *testing.T) map[string]string {
 	}
 	// A CFS fleet covers the preemption-heavy cancel path at cluster scale.
 	cres, err := SimulateCluster(ClusterOptions{
-		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1,
+		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1, Obs: o,
 	}, invs)
 	if err != nil {
 		t.Fatalf("cluster cfs: %v", err)
@@ -123,9 +143,10 @@ func computeStreamedDigests(t *testing.T) map[string]string {
 	t.Helper()
 	invs := goldenWorkload(t)
 	out := map[string]string{}
+	o := goldenObs(t)
 
 	for _, sched := range Schedulers() {
-		res, err := SimulateStreamed(Options{Cores: 8, Scheduler: sched}, SliceSource(invs))
+		res, err := SimulateStreamed(Options{Cores: 8, Scheduler: sched, Obs: o}, SliceSource(invs))
 		if err != nil {
 			t.Fatalf("streamed %s: %v", sched, err)
 		}
@@ -133,7 +154,7 @@ func computeStreamedDigests(t *testing.T) map[string]string {
 	}
 	for _, d := range Dispatches() {
 		cres, err := SimulateCluster(ClusterOptions{
-			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1, Streamed: true,
+			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1, Streamed: true, Obs: o,
 		}, invs)
 		if err != nil {
 			t.Fatalf("streamed cluster %s: %v", d, err)
@@ -141,7 +162,7 @@ func computeStreamedDigests(t *testing.T) map[string]string {
 		out["cluster/hybrid/"+string(d)] = digestCluster(cres)
 	}
 	cres, err := SimulateCluster(ClusterOptions{
-		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1, Streamed: true,
+		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1, Streamed: true, Obs: o,
 	}, invs)
 	if err != nil {
 		t.Fatalf("streamed cluster cfs: %v", err)
@@ -160,11 +181,12 @@ func computeAutoscaledDigests(t *testing.T) map[string]string {
 	t.Helper()
 	invs := goldenWorkload(t)
 	out := map[string]string{}
+	o := goldenObs(t)
 
 	for _, d := range Dispatches() {
 		cres, err := SimulateAutoscaledExact(AutoscaleOptions{
 			MinServers: 3, MaxServers: 3, CoresPerServer: 4,
-			Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1,
+			Dispatch: d, Scheduler: SchedulerHybrid, Seed: 1, Obs: o,
 		}, SliceSource(invs))
 		if err != nil {
 			t.Fatalf("autoscaled %s: %v", d, err)
@@ -173,7 +195,7 @@ func computeAutoscaledDigests(t *testing.T) map[string]string {
 	}
 	cres, err := SimulateAutoscaledExact(AutoscaleOptions{
 		MinServers: 3, MaxServers: 3, CoresPerServer: 4,
-		Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1,
+		Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS, Seed: 1, Obs: o,
 	}, SliceSource(invs))
 	if err != nil {
 		t.Fatalf("autoscaled cfs: %v", err)

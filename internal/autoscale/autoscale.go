@@ -31,6 +31,7 @@ import (
 	"github.com/faassched/faassched/internal/cluster"
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/obs"
 	"github.com/faassched/faassched/internal/simkern"
 	"github.com/faassched/faassched/internal/workload"
 )
@@ -96,6 +97,10 @@ type Config struct {
 	// carries a genuine re-warm penalty. The zero value disables the
 	// model and leaves every decision byte-for-byte unchanged.
 	ColdStart cluster.ColdStartConfig
+	// Obs enables the observability layer (counters, trace export,
+	// progress). Nil disables it entirely; observation never alters
+	// simulated behavior (DESIGN.md §13).
+	Obs *obs.Obs
 }
 
 // EventKind classifies a scale event.
@@ -204,10 +209,14 @@ type Result struct {
 	// ServerSeconds sums billed uptime across servers — the run's
 	// infrastructure cost in server-seconds.
 	ServerSeconds float64
-	// TicksFired / TicksElided aggregate the per-server enclaves' agent
-	// tick counters: boundaries actually woken vs boundaries the
-	// tick-elision pump proved no-op (ghost.Stats, DESIGN.md §9).
+	// Stats aggregates the per-server enclaves' full delegation counters
+	// (messages, commits, fired vs elided ticks, migrations).
+	Stats ghost.Stats
+	// TicksFired / TicksElided mirror Stats.Ticks / Stats.TicksElided
+	// (kept for existing callers).
 	TicksFired, TicksElided int64
+	// KernelEvents sums scheduled kernel events across servers.
+	KernelEvents uint64
 	// PoolWorkers is how many pooled worker goroutines hosted the
 	// per-server runs — bounded by the peak live fleet, not by total
 	// launches (retired servers' workers are reused). This is a host
@@ -395,6 +404,7 @@ type serverState struct {
 	err       error
 	simSpan   time.Duration // kernel makespan, read after done
 	tickStats ghost.Stats   // enclave delegation counters, read after done
+	events    uint64        // scheduled kernel events, read after done
 }
 
 // run is the per-server goroutine: the shared streamed runner pulling
@@ -406,7 +416,12 @@ func (sv *serverState) run(cfg Config, policy ghost.Policy) {
 		r, ok := <-sv.ch
 		return r, ok
 	}
-	k, err := cluster.RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &sv.count, &sv.tickStats)
+	kcfg, gcfg := cfg.Kernel, cfg.Ghost
+	if tr := cfg.Obs.Tracer(); tr != nil {
+		kcfg.Probe = tr.KernelProbe(sv.Index)
+		gcfg.Probe = tr.GhostProbe(sv.Index)
+	}
+	k, err := cluster.RunStreamedServer(kcfg, policy, gcfg, cfg.Window, next, &sv.count, &sv.tickStats)
 	if err != nil {
 		sv.err = err
 		for range sv.ch {
@@ -414,6 +429,7 @@ func (sv *serverState) run(cfg Config, policy ghost.Policy) {
 		return
 	}
 	sv.simSpan = k.Makespan()
+	sv.events = k.EventSeq()
 }
 
 // controller is the streaming dispatcher's state, touched only from the
@@ -442,6 +458,11 @@ type controller struct {
 	// pooled workers, not raw goroutines, so host goroutine count tracks
 	// peak live fleet size rather than total launches.
 	pool workerPool
+	// warmHits/coldMisses tally the warm-pool outcome per routed
+	// invocation; nil unless both counting and the cold-start model are
+	// enabled (DESIGN.md §13).
+	warmHits, coldMisses *obs.Counter
+	pg                   *obs.Progress
 }
 
 // validate applies Config defaulting and sanity checks.
@@ -514,6 +535,11 @@ func Run(cfg Config, src workload.Source) (*Result, error) {
 		if cfg.ColdStart.WarmFirst {
 			c.disp = cluster.WarmFirstDispatcher(c.disp, c.pools, c.model)
 		}
+	}
+	c.pg = cfg.Obs.Progress()
+	if reg := cfg.Obs.Registry(); reg != nil && c.pools != nil {
+		c.warmHits = reg.Counter(obs.CColdWarmHits)
+		c.coldMisses = reg.Counter(obs.CColdMisses)
 	}
 	// The Min floor is provisioned before the run: launched and ready at
 	// time zero, exactly the fixed fleet's starting state.
@@ -620,6 +646,7 @@ func (c *controller) activate(t time.Duration) error {
 			sv.Set = &metrics.Set{}
 			sv.count.inner = sv.Set
 		}
+		sv.count.inner = c.cfg.Obs.WrapSink(idx, sv.count.inner)
 		sv.ch = make(chan cluster.Routed, chanBuf)
 		sv.done = make(chan struct{})
 		sv.started = true
@@ -650,6 +677,13 @@ func (c *controller) route(inv workload.Invocation, idx int) error {
 		}
 		finish = c.model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
 		c.pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+		if cold > 0 {
+			if c.coldMisses != nil {
+				c.coldMisses.Inc()
+			}
+		} else if c.warmHits != nil {
+			c.warmHits.Inc()
+		}
 	}
 	if c.cfg.Policy == PolicyQueueDepth {
 		c.track.book(s, finish)
@@ -663,6 +697,10 @@ func (c *controller) route(inv workload.Invocation, idx int) error {
 		c.assign = append(c.assign, s)
 	}
 	sv.ch <- cluster.Routed{Inv: inv, Idx: idx, ColdStart: cold}
+	if c.pg != nil {
+		c.pg.Routed.Add(1)
+		c.pg.Watermark.Store(int64(inv.Arrival))
+	}
 	return nil
 }
 
@@ -822,10 +860,11 @@ func (c *controller) finish(routed int) (*Result, error) {
 		res.Preemptions += sv.Preemptions
 		res.ColdStarts += sv.ColdStarts
 		res.ServerSeconds += sv.BilledSeconds()
-		res.TicksFired += sv.tickStats.Ticks
-		res.TicksElided += sv.tickStats.TicksElided
+		res.Stats.Accumulate(sv.tickStats)
+		res.KernelEvents += sv.events
 		res.Servers = append(res.Servers, sv.Server)
 	}
+	res.TicksFired, res.TicksElided = res.Stats.Ticks, res.Stats.TicksElided
 
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].Time != events[j].Time {
@@ -850,5 +889,26 @@ func (c *controller) finish(routed int) (*Result, error) {
 		}
 	}
 	res.Events = events
+
+	if reg := c.cfg.Obs.Registry(); reg != nil {
+		reg.AddGhostStats(res.Stats)
+		reg.Counter(obs.CKernEvents).Add(int64(res.KernelEvents))
+		reg.Counter(obs.CInvocations).Add(int64(routed))
+		reg.Gauge(obs.GServerSeconds).Add(res.ServerSeconds)
+		kinds := [...]*obs.Counter{
+			EventLaunch: reg.Counter(obs.CScaleLaunches),
+			EventReady:  reg.Counter(obs.CScaleReady),
+			EventDrain:  reg.Counter(obs.CScaleDrains),
+			EventRetire: reg.Counter(obs.CScaleRetires),
+		}
+		for i := range events {
+			kinds[events[i].Kind].Inc()
+		}
+	}
+	if tr := c.cfg.Obs.Tracer(); tr != nil {
+		for i := range events {
+			tr.ScaleEvent(events[i].Kind.String(), events[i].Server, events[i].Time, events[i].Active)
+		}
+	}
 	return res, nil
 }

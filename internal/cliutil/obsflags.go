@@ -1,0 +1,227 @@
+// Shared observability/telemetry flags for the command-line tools:
+// -trace-out (Chrome trace-event JSON), -run-report (JSON run report),
+// -progress (heartbeat), and the pprof hooks. Register once on a
+// FlagSet, Validate with the tool's other upfront checks, Start to get
+// the *obs.Obs to thread into the simulation, Finish on the way out.
+
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"github.com/faassched/faassched/internal/obs"
+)
+
+// ObsFlags holds the parsed observability flag values.
+type ObsFlags struct {
+	TraceOut      string
+	TraceEvery    int
+	TraceFuncs    string
+	TraceSegments bool
+	ReportOut     string
+	Progress      time.Duration
+	CPUProfile    string
+	MemProfile    string
+}
+
+// RegisterObs registers the shared observability flags on fs.
+func RegisterObs(fs *flag.FlagSet) *ObsFlags {
+	f := &ObsFlags{}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace-event JSON file of the run (load in Perfetto)")
+	fs.IntVar(&f.TraceEvery, "trace-every", 1, "trace only every Nth invocation's lifecycle spans (by invocation id; 1 = all)")
+	fs.StringVar(&f.TraceFuncs, "trace-funcs", "", "trace only invocations of these comma-separated function labels (empty = all)")
+	fs.BoolVar(&f.TraceSegments, "trace-segments", false, "also trace per-core run segments (high volume: one span per completion/preemption)")
+	fs.StringVar(&f.ReportOut, "run-report", "", "write a JSON run report (wall clock, events/sec, peak RSS, counters) to this path")
+	fs.DurationVar(&f.Progress, "progress", 0, "print a heartbeat line to stderr at this interval (0 = off)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this path")
+	return f
+}
+
+// Validate applies the upfront sanity checks, tool-style: fail with the
+// full constraint before any simulation runs.
+func (f *ObsFlags) Validate() error {
+	if f.TraceEvery < 1 {
+		return fmt.Errorf("-trace-every %d must be >= 1", f.TraceEvery)
+	}
+	if f.TraceOut == "" && (f.TraceEvery > 1 || f.TraceFuncs != "" || f.TraceSegments) {
+		return fmt.Errorf("-trace-every/-trace-funcs/-trace-segments need -trace-out")
+	}
+	if f.Progress < 0 {
+		return fmt.Errorf("-progress %v must be >= 0 (0 = off)", f.Progress)
+	}
+	return nil
+}
+
+// Enabled reports whether any observability facility was requested.
+func (f *ObsFlags) Enabled() bool {
+	return f.TraceOut != "" || f.ReportOut != "" || f.Progress > 0 ||
+		f.CPUProfile != "" || f.MemProfile != ""
+}
+
+// ObsRig is a started observability session: the Obs bundle to thread
+// into the simulation, the run report under assembly, and the teardown
+// state. A rig with nothing enabled is a no-op (Obs nil, Finish nil).
+type ObsRig struct {
+	// Obs is the bundle for Options/ClusterOptions/AutoscaleOptions.Obs;
+	// nil when no facility needing simulation hooks was requested.
+	Obs *obs.Obs
+	// Report is the run report under assembly; nil unless -run-report.
+	// The caller fills Mode/SimSeconds/Invocations/Events/PerShard before
+	// Finish, which derives the rates and writes the file.
+	Report *obs.RunReport
+
+	flags     *ObsFlags
+	start     time.Time
+	traceFile *os.File
+	cpuFile   *os.File
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+}
+
+// Start opens the requested facilities. tool names the producing
+// command in the report; window is the workload's simulated span for
+// heartbeat percentages (0 = unknown). Heartbeats go to stderr so table
+// output stays clean.
+func (f *ObsFlags) Start(tool string, stderr io.Writer, window time.Duration) (*ObsRig, error) {
+	rig := &ObsRig{flags: f, start: time.Now()}
+	if !f.Enabled() {
+		return rig, nil
+	}
+	o := &obs.Obs{}
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, err
+		}
+		rig.traceFile = file
+		var funcs []string
+		if f.TraceFuncs != "" {
+			funcs = strings.Split(f.TraceFuncs, ",")
+		}
+		o.Trace = obs.NewTracer(file, obs.TraceConfig{
+			Every: f.TraceEvery, Funcs: funcs, Segments: f.TraceSegments,
+		})
+	}
+	if f.ReportOut != "" {
+		o.Counters = obs.NewRegistry()
+		rig.Report = &obs.RunReport{Tool: tool}
+	}
+	if f.Progress > 0 {
+		o.Prog = &obs.Progress{}
+		rig.hbStop = make(chan struct{})
+		rig.hbDone = make(chan struct{})
+		go rig.heartbeat(stderr, window)
+	}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			rig.close()
+			return nil, err
+		}
+		rig.cpuFile = file
+	}
+	rig.Obs = o
+	return rig, nil
+}
+
+// heartbeat prints one progress line per interval until stopped.
+func (rig *ObsRig) heartbeat(w io.Writer, window time.Duration) {
+	defer close(rig.hbDone)
+	tick := time.NewTicker(rig.flags.Progress)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rig.hbStop:
+			return
+		case <-tick.C:
+			pg := rig.Obs.Progress()
+			mark := time.Duration(pg.Watermark.Load())
+			line := fmt.Sprintf("# progress: sim=%s", mark.Round(time.Second))
+			if window > 0 {
+				line += fmt.Sprintf(" (%.1f%% of %s)", 100*float64(mark)/float64(window), window.Round(time.Second))
+			}
+			wall := time.Since(rig.start).Seconds()
+			done := pg.Done.Load()
+			line += fmt.Sprintf(" routed=%d done=%d live=%d done/s=%.0f wall=%s",
+				pg.Routed.Load(), done, pg.Live(), float64(done)/max(wall, 1e-9),
+				time.Since(rig.start).Round(time.Second))
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// close releases open files and stops the heartbeat (idempotent).
+func (rig *ObsRig) close() {
+	if rig.hbStop != nil {
+		close(rig.hbStop)
+		<-rig.hbDone
+		rig.hbStop = nil
+	}
+	if rig.traceFile != nil {
+		rig.traceFile.Close()
+		rig.traceFile = nil
+	}
+}
+
+// Finish tears the rig down: stops the heartbeat, closes the trace,
+// stops the CPU profile, writes the heap profile, and finalizes + writes
+// the run report. Safe on a rig with nothing enabled.
+func (rig *ObsRig) Finish() error {
+	if rig.hbStop != nil {
+		close(rig.hbStop)
+		<-rig.hbDone
+		rig.hbStop = nil
+	}
+	if rig.cpuFile != nil {
+		pprof.StopCPUProfile()
+		rig.cpuFile.Close()
+		rig.cpuFile = nil
+	}
+	if tr := rig.Obs.Tracer(); tr != nil {
+		if rig.Report != nil {
+			rig.Report.TraceEvents = tr.Events()
+		}
+		if err := tr.Close(); err != nil {
+			rig.close()
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if rig.traceFile != nil {
+		if err := rig.traceFile.Close(); err != nil {
+			return err
+		}
+		rig.traceFile = nil
+	}
+	if rig.flags != nil && rig.flags.MemProfile != "" {
+		file, err := os.Create(rig.flags.MemProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	if rig.Report != nil {
+		rig.Report.Finalize(rig.Obs.Registry(), time.Since(rig.start))
+		if err := obs.WriteRunReport(rig.flags.ReportOut, rig.Report); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/obs"
 	"github.com/faassched/faassched/internal/simkern"
 	"github.com/faassched/faassched/internal/simrun"
 	"github.com/faassched/faassched/internal/workload"
@@ -72,6 +73,10 @@ type Config struct {
 	// Workers bounds the worker pool draining the shard queue. Zero
 	// means GOMAXPROCS.
 	Workers int
+	// Obs enables the observability layer (counters, trace export,
+	// progress). Nil disables it entirely; observation never alters
+	// simulated behavior (DESIGN.md §13).
+	Obs *obs.Obs
 }
 
 // shardRanges splits n servers into at most shards contiguous [lo, hi)
@@ -126,6 +131,11 @@ type ServerResult struct {
 	Makespan time.Duration
 	// Preemptions is this server's total preemption count.
 	Preemptions int
+	// Stats holds this server's enclave delegation counters (messages,
+	// commits, fired vs elided agent ticks).
+	Stats ghost.Stats
+	// Events is how many kernel events this server's run scheduled.
+	Events uint64
 }
 
 // Result is a finished fleet simulation.
@@ -145,6 +155,10 @@ type Result struct {
 	PerServer []ServerResult
 	// Assignment maps each input invocation index to its server.
 	Assignment []int
+	// Stats sums enclave delegation counters across servers.
+	Stats ghost.Stats
+	// Events sums scheduled kernel events across servers.
+	Events uint64
 }
 
 // Imbalance reports max-over-mean busy work across servers: 1.0 is a
@@ -240,6 +254,14 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	for s := range candidates {
 		candidates[s] = s
 	}
+	// Routing runs single-threaded, so the cold-start tallies and
+	// progress publishing live here on the control thread.
+	var warmHits, coldMisses *obs.Counter
+	if reg := cfg.Obs.Registry(); reg != nil && pools != nil {
+		warmHits = reg.Counter(obs.CColdWarmHits)
+		coldMisses = reg.Counter(obs.CColdMisses)
+	}
+	pg := cfg.Obs.Progress()
 	assignment := make([]int, len(invs))
 	perServer := make([][]Routed, cfg.Servers)
 	for i, inv := range invs {
@@ -256,9 +278,20 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 			}
 			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
 			pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+			if cold > 0 {
+				if coldMisses != nil {
+					coldMisses.Inc()
+				}
+			} else if warmHits != nil {
+				warmHits.Inc()
+			}
 		}
 		assignment[i] = s
 		perServer[s] = append(perServer[s], Routed{Inv: inv, Idx: i, ColdStart: cold})
+		if pg != nil {
+			pg.Routed.Add(1)
+			pg.Watermark.Store(int64(inv.Arrival))
+		}
 	}
 
 	// Policies are built sequentially so factories need not be
@@ -315,6 +348,8 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	for _, sr := range results {
 		res.Set.Records = append(res.Set.Records, sr.Set.Records...)
 		res.Preemptions += sr.Preemptions
+		res.Stats.Accumulate(sr.Stats)
+		res.Events += sr.Events
 		if sr.Makespan > res.Makespan {
 			res.Makespan = sr.Makespan
 		}
@@ -322,6 +357,11 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	sort.Slice(res.Set.Records, func(i, j int) bool {
 		return res.Set.Records[i].ID < res.Set.Records[j].ID
 	})
+	if reg := cfg.Obs.Registry(); reg != nil {
+		reg.AddGhostStats(res.Stats)
+		reg.Counter(obs.CKernEvents).Add(int64(res.Events))
+		reg.Counter(obs.CInvocations).Add(int64(len(invs)))
+	}
 	return res, nil
 }
 
@@ -331,25 +371,42 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []Routed) (ServerRe
 	if len(share) == 0 {
 		return out, nil
 	}
+	kcfg, gcfg := obsConfigs(cfg.Kernel, cfg.Ghost, cfg.Obs, s)
 	var k *simkern.Kernel
 	var err error
 	if cfg.Streamed {
-		k, out.Set, err = runStreamed(cfg, policy, share)
+		k, out.Set, err = runStreamed(s, cfg, kcfg, gcfg, policy, share, &out.Stats)
 	} else {
 		tasks := make([]*simkern.Task, 0, len(share))
 		for _, r := range share {
 			tasks = append(tasks, r.applyColdStart(workload.Task(r.Inv, simkern.TaskID(r.Idx+1))))
 		}
-		if k, err = simrun.Exec(cfg.Kernel, policy, cfg.Ghost, simrun.AddTasks(tasks)); err == nil {
+		if k, err = simrun.ExecStats(kcfg, policy, gcfg, simrun.AddTasks(tasks), &out.Stats); err == nil {
 			out.Set = metrics.Collect(k)
+			cfg.Obs.Tracer().TaskSet(s, &out.Set)
+			if pg := cfg.Obs.Progress(); pg != nil {
+				pg.Done.Add(int64(len(out.Set.Records)))
+			}
 		}
 	}
 	if err != nil {
 		return out, err
 	}
 	out.Makespan = k.Makespan()
+	out.Events = k.EventSeq()
 	out.Preemptions = out.Set.TotalPreemptions()
 	return out, nil
+}
+
+// obsConfigs returns per-server kernel/enclave config copies with the
+// trace probes attached. With tracing off the configs pass through with
+// nil probes, so the simulated machines are byte-identical either way.
+func obsConfigs(kcfg simkern.Config, gcfg ghost.Config, o *obs.Obs, server int) (simkern.Config, ghost.Config) {
+	if tr := o.Tracer(); tr != nil {
+		kcfg.Probe = tr.KernelProbe(server)
+		gcfg.Probe = tr.GhostProbe(server)
+	}
+	return kcfg, gcfg
 }
 
 // RunStreamedServer drives one server's routed share — pulled lazily from
@@ -383,7 +440,8 @@ func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Conf
 // Set sink. Records arrive in completion order and are re-sorted by global
 // invocation id, which is exactly the order metrics.Collect reports for
 // the materialized path.
-func runStreamed(cfg Config, policy ghost.Policy, share []Routed) (*simkern.Kernel, metrics.Set, error) {
+func runStreamed(s int, cfg Config, kcfg simkern.Config, gcfg ghost.Config,
+	policy ghost.Policy, share []Routed, stats *ghost.Stats) (*simkern.Kernel, metrics.Set, error) {
 	i := 0
 	next := func() (Routed, bool) {
 		if i >= len(share) {
@@ -394,7 +452,7 @@ func runStreamed(cfg Config, policy ghost.Policy, share []Routed) (*simkern.Kern
 		return r, true
 	}
 	var set metrics.Set
-	k, err := RunStreamedServer(cfg.Kernel, policy, cfg.Ghost, cfg.Window, next, &set, nil)
+	k, err := RunStreamedServer(kcfg, policy, gcfg, cfg.Window, next, cfg.Obs.WrapSink(s, &set), stats)
 	if err != nil {
 		return nil, metrics.Set{}, err
 	}

@@ -26,6 +26,7 @@ import (
 
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
+	"github.com/faassched/faassched/internal/obs"
 	"github.com/faassched/faassched/internal/pricing"
 	"github.com/faassched/faassched/internal/simkern"
 	"github.com/faassched/faassched/internal/simrun"
@@ -69,6 +70,12 @@ type shardWorker struct {
 	err      error
 	makespan time.Duration
 	stats    ghost.Stats
+	events   uint64
+	invs     int
+	// reg is the shard-local counter registry (nil when counters are
+	// off); shard registries merge in shard-index order after the run,
+	// MergeTree-style, so totals are bit-stable at any shard count.
+	reg *obs.Registry
 }
 
 // run consumes the shard's handoff stream until the router closes it,
@@ -100,13 +107,13 @@ func (w *shardWorker) run(done chan<- struct{}) {
 		if m := sv.inc.Makespan(); m > w.makespan {
 			w.makespan = m
 		}
-		st := sv.inc.Stats()
-		w.stats.Delivered += st.Delivered
-		w.stats.Commits += st.Commits
-		w.stats.Failed += st.Failed
-		w.stats.Ticks += st.Ticks
-		w.stats.TicksElided += st.TicksElided
-		w.stats.Migrations += st.Migrations
+		w.stats.Accumulate(sv.inc.Stats())
+		w.events += sv.inc.Events()
+		w.invs += sv.invocations
+	}
+	if w.reg != nil {
+		w.reg.AddGhostStats(w.stats)
+		w.reg.Counter(obs.CKernEvents).Add(int64(w.events))
 	}
 }
 
@@ -123,7 +130,8 @@ func (w *shardWorker) admit(server int, r Routed) {
 		} else {
 			sink = w.acc
 		}
-		inc, err := simrun.NewIncremental(w.cfg.Kernel, w.policies[server], w.cfg.Ghost, sink)
+		kcfg, gcfg := obsConfigs(w.cfg.Kernel, w.cfg.Ghost, w.cfg.Obs, server)
+		inc, err := simrun.NewIncremental(kcfg, w.policies[server], gcfg, w.cfg.Obs.WrapSink(server, sink))
 		if err != nil {
 			w.err = err
 			return
@@ -166,9 +174,18 @@ type ShardedReplay struct {
 	Makespan time.Duration
 	// Windowed holds the merged per-window + whole-run metrics.
 	Windowed *metrics.WindowedAccumulator
-	// TicksFired / TicksElided aggregate the per-server enclaves' agent
-	// tick counters across the fleet.
+	// Stats aggregates the per-server enclaves' full delegation counters
+	// (messages, commits, fired vs elided ticks, migrations) across the
+	// fleet.
+	Stats ghost.Stats
+	// TicksFired / TicksElided mirror Stats.Ticks / Stats.TicksElided
+	// (kept for existing callers).
 	TicksFired, TicksElided int64
+	// Events sums scheduled kernel events across servers.
+	Events uint64
+	// PerShard breaks invocations and events down by shard, in shard
+	// order — run-report material for spotting load imbalance.
+	PerShard []obs.ShardUtil
 }
 
 // SimulateShardedWindowed streams src through a sharded fleet, folding
@@ -189,14 +206,18 @@ func SimulateShardedWindowed(cfg Config, src workload.Source, tariff pricing.Tar
 		Invocations: invocations,
 	}
 	accs := make([]*metrics.WindowedAccumulator, len(workers))
+	rep.PerShard = make([]obs.ShardUtil, len(workers))
 	for i, w := range workers {
 		accs[i] = w.acc
 		if w.makespan > rep.Makespan {
 			rep.Makespan = w.makespan
 		}
-		rep.TicksFired += w.stats.Ticks
-		rep.TicksElided += w.stats.TicksElided
+		rep.Stats.Accumulate(w.stats)
+		rep.Events += w.events
+		rep.PerShard[i] = obs.ShardUtil{Shard: i, Servers: w.hi - w.lo, Invocations: w.invs, Events: w.events}
 	}
+	rep.TicksFired = rep.Stats.Ticks
+	rep.TicksElided = rep.Stats.TicksElided
 	if rep.Windowed, err = metrics.MergeTree(accs); err != nil {
 		return nil, err
 	}
@@ -230,6 +251,8 @@ func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
 		if w.makespan > res.Makespan {
 			res.Makespan = w.makespan
 		}
+		res.Stats.Accumulate(w.stats)
+		res.Events += w.events
 		for local, sv := range w.servers {
 			if sv == nil {
 				continue
@@ -241,6 +264,8 @@ func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
 			sort.Slice(sr.Set.Records, func(a, b int) bool { return sr.Set.Records[a].ID < sr.Set.Records[b].ID })
 			sr.Makespan = sv.inc.Makespan()
 			sr.Preemptions = sr.Set.TotalPreemptions()
+			sr.Stats = sv.inc.Stats()
+			sr.Events = sv.inc.Events()
 			res.Preemptions += sr.Preemptions
 			res.Set.Records = append(res.Set.Records, sr.Set.Records...)
 		}
@@ -308,6 +333,9 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 			servers:  make([]*shardedServer, rg[1]-rg[0]),
 			ch:       make(chan shardMsg, shardChanBuf),
 		}
+		if cfg.Obs.Registry() != nil {
+			w.reg = obs.NewRegistry()
+		}
 		if !exact {
 			if w.acc, err = metrics.NewWindowedAccumulator(tariff, width); err != nil {
 				return nil, 0, nil, err
@@ -351,6 +379,21 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 		candidates[s] = s
 	}
 
+	// Router-side observation: watermark/cold-start tallies and progress
+	// live on this single goroutine, so they are shard-count invariant
+	// by construction; per-server enclave counters fold in via the shard
+	// registries instead.
+	tr := cfg.Obs.Tracer()
+	pg := cfg.Obs.Progress()
+	var wmCount, warmHits, coldMisses *obs.Counter
+	if reg := cfg.Obs.Registry(); reg != nil {
+		wmCount = reg.Counter(obs.CWatermarks)
+		if pools != nil {
+			warmHits = reg.Counter(obs.CColdWarmHits)
+			coldMisses = reg.Counter(obs.CColdMisses)
+		}
+	}
+
 	var assignment []int
 	idx := 0
 	lastArr := time.Duration(-1)
@@ -368,6 +411,13 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 			for _, w := range workers {
 				w.ch <- shardMsg{mark: nextMark, isMark: true}
 			}
+			if wmCount != nil {
+				wmCount.Inc()
+			}
+			tr.Watermark(nextMark, int64(idx))
+			if pg != nil {
+				pg.Watermark.Store(int64(nextMark))
+			}
 			nextMark += chunk
 		}
 		s := disp.Pick(inv, candidates)
@@ -384,12 +434,22 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 			}
 			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
 			pools.Book(s, inv, inv.Arrival, finish, cold > 0)
+			if cold > 0 {
+				if coldMisses != nil {
+					coldMisses.Inc()
+				}
+			} else if warmHits != nil {
+				warmHits.Inc()
+			}
 		}
 		if exact {
 			assignment = append(assignment, s)
 		}
 		workers[serverShard[s]].ch <- shardMsg{r: Routed{Inv: inv, Idx: idx, ColdStart: cold}, server: s}
 		idx++
+		if pg != nil {
+			pg.Routed.Add(1)
+		}
 		return true
 	})
 	closeAll()
@@ -403,6 +463,14 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 		if w.err != nil {
 			return nil, 0, nil, fmt.Errorf("cluster: shard %d (servers %d-%d): %w", w.shard, w.lo, w.hi-1, w.err)
 		}
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		regs := make([]*obs.Registry, len(workers))
+		for i, w := range workers {
+			regs[i] = w.reg
+		}
+		reg.Merge(obs.MergeRegistryTree(regs))
+		reg.Counter(obs.CInvocations).Add(int64(idx))
 	}
 	return workers, idx, assignment, nil
 }

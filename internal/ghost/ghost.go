@@ -106,6 +106,17 @@ type Stats struct {
 	Migrations  int64 // policy-reported core migrations (hybrid rightsizer)
 }
 
+// Accumulate folds o's counters into s; the fleet layers use it to
+// aggregate per-server enclave stats.
+func (s *Stats) Accumulate(o Stats) {
+	s.Delivered += o.Delivered
+	s.Commits += o.Commits
+	s.Failed += o.Failed
+	s.Ticks += o.Ticks
+	s.TicksElided += o.TicksElided
+	s.Migrations += o.Migrations
+}
+
 // Config configures an enclave.
 type Config struct {
 	// MsgLatency is the kernel→agent delegation delay applied to every
@@ -119,6 +130,19 @@ type Config struct {
 	// for the equivalence oracle (TestTickElisionOracle) and for
 	// debugging suspected horizon bugs.
 	ForceTickPump bool
+	// Probe observes agent-tick firings for trace export. Nil (the
+	// default) disables observation at the cost of one nil check per
+	// tick. Probes must not call back into the enclave.
+	Probe Probe
+}
+
+// Probe receives tick notifications when configured; the observability
+// layer implements it.
+type Probe interface {
+	// TickFired fires after each agent tick; elided is how many grid
+	// boundaries the horizon pump proved no-op since the previous fired
+	// tick (always zero under the naive pump).
+	TickFired(now time.Duration, elided int64)
 }
 
 // DefaultMsgLatency is applied when Config.MsgLatency is zero and
@@ -150,6 +174,7 @@ type Enclave struct {
 	policy  Policy
 	latency time.Duration
 	stats   Stats
+	probe   Probe // optional tick observer (Config.Probe)
 
 	ticker      Ticker // policy, when it implements Ticker
 	tickFn      func() // persistent tick callback (no per-tick closure)
@@ -199,7 +224,7 @@ func NewEnclave(kernel *simkern.Kernel, policy Policy, cfg Config) (*Enclave, er
 	if latency == 0 && !cfg.NoLatency {
 		latency = DefaultMsgLatency
 	}
-	e := &Enclave{kernel: kernel, policy: policy, latency: latency}
+	e := &Enclave{kernel: kernel, policy: policy, latency: latency, probe: cfg.Probe}
 	e.env = &Env{enclave: e}
 	e.flushFn = e.flush
 	if ht, ok := policy.(HorizonTicker); ok && !cfg.ForceTickPump {
@@ -210,6 +235,9 @@ func NewEnclave(kernel *simkern.Kernel, policy Policy, cfg Config) (*Enclave, er
 		e.tickFn = func() {
 			e.tickPending = false
 			e.stats.Ticks++
+			if e.probe != nil {
+				e.probe.TickFired(e.kernel.Now(), 0)
+			}
 			e.ticker.OnTick()
 			e.ensureTick()
 		}
@@ -416,11 +444,16 @@ func (e *Enclave) horizonTick() {
 		return // superseded by an earlier re-arm, or already fired
 	}
 	e.armed = false
+	var elided int64
 	if per := e.hticker.TickEvery(); per > 0 && now > e.lastGrid {
-		e.stats.TicksElided += int64((now-e.lastGrid)/per) - 1
+		elided = int64((now-e.lastGrid)/per) - 1
+		e.stats.TicksElided += elided
 	}
 	e.lastGrid = now
 	e.stats.Ticks++
+	if e.probe != nil {
+		e.probe.TickFired(now, elided)
+	}
 	e.hticker.OnTick()
 	if e.kernel.Outstanding() == 0 {
 		e.pumpAlive = false

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/faassched/faassched/internal/ghost"
+)
+
+func TestRegistryFindOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("a.b").Value(); got != 4 {
+		t.Fatalf("counter a.b = %d, want 4", got)
+	}
+	g := r.Gauge("a.g")
+	g.Add(1.5)
+	if got := r.Gauge("a.g").Value(); got != 1.5 {
+		t.Fatalf("gauge a.g = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryCrossKindPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestAddGhostStats(t *testing.T) {
+	r := NewRegistry()
+	r.AddGhostStats(ghost.Stats{Delivered: 1, Commits: 2, Failed: 3, Ticks: 4, TicksElided: 5, Migrations: 6})
+	r.AddGhostStats(ghost.Stats{Delivered: 10, Ticks: 10})
+	want := map[string]int64{
+		CGhostDelivered: 11, CGhostCommits: 2, CGhostFailed: 3,
+		CGhostTicks: 14, CGhostElided: 5, CGhostMigrations: 6,
+	}
+	for name, v := range want {
+		if got := r.Counter(name).Value(); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
+
+// TestMergeRegistryTree checks that the pairwise fold preserves totals at
+// every width, skips nil entries, and produces identical gauge bytes
+// regardless of how the same shard values would have been interleaved by
+// worker scheduling (the fold order is fixed by index).
+func TestMergeRegistryTree(t *testing.T) {
+	for width := 0; width <= 9; width++ {
+		regs := make([]*Registry, width)
+		var wantC int64
+		var wantG float64
+		for i := range regs {
+			if i == 3 && width > 3 {
+				continue // nil entry: a shard with counting off
+			}
+			r := NewRegistry()
+			r.Counter("c").Add(int64(i + 1))
+			r.Gauge("g").Add(0.1 * float64(i+1))
+			regs[i] = r
+			wantC += int64(i + 1)
+		}
+		vals := make([]float64, width)
+		for i := range vals {
+			if i == 3 && width > 3 {
+				continue
+			}
+			vals[i] = 0.1 * float64(i+1)
+		}
+		root := MergeRegistryTree(regs)
+		if width == 0 {
+			if root != nil {
+				t.Fatalf("width 0: root = %v, want nil", root)
+			}
+			continue
+		}
+		if got := root.Counter("c").Value(); got != wantC {
+			t.Errorf("width %d: counter total %d, want %d", width, got, wantC)
+		}
+		for _, v := range vals {
+			wantG += v
+		}
+		// Gauge totals agree with the linear sum up to float error; exact
+		// byte stability is pinned by the double-run check below.
+		if got := root.Gauge("g").Value(); got < wantG-1e-9 || got > wantG+1e-9 {
+			t.Errorf("width %d: gauge total %v, want ~%v", width, got, wantG)
+		}
+	}
+}
+
+// TestMergeTreeDeterministic pins bit-identical gauge folds: merging the
+// same per-shard values twice yields the same float bits.
+func TestMergeTreeDeterministic(t *testing.T) {
+	build := func() []*Registry {
+		regs := make([]*Registry, 7)
+		for i := range regs {
+			r := NewRegistry()
+			r.Gauge("g").Add(0.1 * float64(i+1))
+			r.Gauge("h").Add(1.0 / float64(i+3))
+			regs[i] = r
+		}
+		return regs
+	}
+	a := MergeRegistryTree(build())
+	b := MergeRegistryTree(build())
+	if a.Gauge("g").Value() != b.Gauge("g").Value() || a.Gauge("h").Value() != b.Gauge("h").Value() {
+		t.Fatal("tree merge of identical inputs produced different float bits")
+	}
+}
+
+func TestDumpAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("c").Add(3.5)
+	if got := r.Dump(); !reflect.DeepEqual(got, map[string]float64{"a": 1, "b": 2, "c": 3.5}) {
+		t.Errorf("Dump = %v", got)
+	}
+	snap := r.Snapshot()
+	want := []Metric{{"a", 1}, {"b", 2}, {"c", 3.5}}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("Snapshot = %v, want %v", snap, want)
+	}
+	var nilReg *Registry
+	if nilReg.Dump() != nil || nilReg.Snapshot() != nil {
+		t.Error("nil registry Dump/Snapshot should be nil")
+	}
+}
+
+func TestProgressLive(t *testing.T) {
+	var p Progress
+	p.Routed.Add(10)
+	p.Done.Add(4)
+	if got := p.Live(); got != 6 {
+		t.Fatalf("Live = %d, want 6", got)
+	}
+	if got := (*Progress)(nil).Live(); got != 0 {
+		t.Fatalf("nil Live = %d, want 0", got)
+	}
+}
+
+func TestRunReportFinalize(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(CKernEvents).Add(500)
+	rep := &RunReport{
+		Tool: "test", Mode: "flat", Events: 500,
+		PerShard: []ShardUtil{{Shard: 0, Events: 100}, {Shard: 1, Events: 400}},
+	}
+	rep.Finalize(reg, 2*time.Second)
+	if rep.EventsPerSec != 250 {
+		t.Errorf("EventsPerSec = %v, want 250", rep.EventsPerSec)
+	}
+	if rep.PeakRSSMB <= 0 {
+		t.Errorf("PeakRSSMB = %v, want > 0", rep.PeakRSSMB)
+	}
+	if rep.Counters[CKernEvents] != 500 {
+		t.Errorf("counter dump missing %s: %v", CKernEvents, rep.Counters)
+	}
+	if rep.PerShard[1].EventShare != 0.8 {
+		t.Errorf("shard 1 EventShare = %v, want 0.8", rep.PerShard[1].EventShare)
+	}
+	// Counters key must exist even with counting disabled.
+	rep2 := &RunReport{}
+	rep2.Finalize(nil, time.Second)
+	if rep2.Counters == nil {
+		t.Error("Finalize(nil) left Counters nil")
+	}
+}

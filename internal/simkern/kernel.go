@@ -47,6 +47,21 @@ type Config struct {
 	// metrics must then be gathered through a completion sink rather than
 	// metrics.Collect.
 	DiscardTasks bool
+	// Probe observes core occupancy for trace export. Nil (the default)
+	// disables observation; the hot completion/preemption paths then pay
+	// exactly one nil check. Probes must not call back into the kernel.
+	Probe Probe
+}
+
+// Probe receives core-occupancy notifications when configured. The
+// observability layer implements it; the kernel never depends on what
+// the probe does with the data.
+type Probe interface {
+	// SegmentEnd fires when a task leaves a core — at completion
+	// (done=true) or preemption (done=false). start is when the segment
+	// began making CPU progress (post switch cost); a preemption during
+	// the switch window can report start > end.
+	SegmentEnd(t *Task, c CoreID, start, end time.Duration, done bool)
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -324,6 +339,9 @@ func (k *Kernel) Preempt(c CoreID) (*Task, error) {
 	if t == nil {
 		return nil, fmt.Errorf("%w: core %d", ErrCoreIdle, c)
 	}
+	if k.cfg.Probe != nil {
+		k.cfg.Probe.SegmentEnd(t, c, t.segStart, k.now, false)
+	}
 	k.loop.cancel(t.completion)
 	t.completion = nil
 	consumed := time.Duration(0)
@@ -348,6 +366,9 @@ func (k *Kernel) Preempt(c CoreID) (*Task, error) {
 
 // complete finishes task t on core cr at the current time.
 func (k *Kernel) complete(cr *core, t *Task) {
+	if k.cfg.Probe != nil {
+		k.cfg.Probe.SegmentEnd(t, cr.id, t.segStart, k.now, true)
+	}
 	t.cpuConsumed += t.remainingAtGo
 	t.remainingAtGo = 0
 	t.completion = nil

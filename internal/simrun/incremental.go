@@ -87,3 +87,7 @@ func (inc *Incremental) Makespan() time.Duration { return inc.k.Makespan() }
 
 // Stats snapshots the enclave's delegation counters.
 func (inc *Incremental) Stats() ghost.Stats { return inc.enc.Stats() }
+
+// Events returns how many kernel events the machine has scheduled — the
+// run-telemetry measure of simulation work done.
+func (inc *Incremental) Events() uint64 { return inc.k.EventSeq() }

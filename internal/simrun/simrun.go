@@ -16,11 +16,20 @@ import (
 // enclave, seeds work with add, and processes events until the machine
 // drains. It errors if any task is left unfinished.
 func Exec(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, add func(*simkern.Kernel) error) (*simkern.Kernel, error) {
+	return ExecStats(kcfg, policy, gcfg, add, nil)
+}
+
+// ExecStats is Exec with the enclave's delegation counters snapshotted
+// into stats (when non-nil) after the run — the materialized counterpart
+// of StreamConfig.Stats, used by the fleet layers to surface ghost.Stats
+// without retaining the enclave.
+func ExecStats(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, add func(*simkern.Kernel) error, stats *ghost.Stats) (*simkern.Kernel, error) {
 	k, err := simkern.New(kcfg)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := ghost.NewEnclave(k, policy, gcfg); err != nil {
+	enc, err := ghost.NewEnclave(k, policy, gcfg)
+	if err != nil {
 		return nil, err
 	}
 	if err := add(k); err != nil {
@@ -31,6 +40,9 @@ func Exec(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config, add func(
 	}
 	if n := k.Outstanding(); n != 0 {
 		return nil, fmt.Errorf("simrun: %d tasks unfinished under %s", n, policy.Name())
+	}
+	if stats != nil {
+		*stats = enc.Stats()
 	}
 	return k, nil
 }

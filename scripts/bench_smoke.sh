@@ -23,6 +23,10 @@
 # accidental O(servers) scan per event), not percent-level drift — on a
 # noisy box pass a looser second argument.
 #
+# Gate 3 — obs-disabled zero-alloc (DESIGN.md §13): asserts every
+# BenchmarkDispatchPick row reports allocs/op == 0, pinning the
+# observability seams' inertness guarantee at the allocation level.
+#
 #   ./scripts/bench_smoke.sh              # default ceiling + 20% gate
 #   ./scripts/bench_smoke.sh 60000 35     # custom ceiling, 35% gate
 set -e
@@ -51,16 +55,40 @@ if [ ! -f BENCH_baseline.json ]; then
   exit 0
 fi
 
+# Fixed iteration count for DispatchPick: the pick stream is
+# deterministic, so pinning b.N makes both sides of the diff time the
+# identical instruction stream (default benchtime varies b.N and with
+# it the ramp-up vs steady-state mix, which swamps the gate on sub-µs
+# rows). Captured separately because the output also feeds gate 3.
+dispatch=$(go test -run '^$' -bench 'BenchmarkDispatchPick' -benchtime 2000000x -timeout 20m .)
+
+# Gate 3 — obs-disabled zero-alloc (DESIGN.md §13): with no Obs wired
+# in, the hot dispatch path must not allocate. Every DispatchPick row
+# reports allocs/op (b.ReportAllocs); any nonzero value means an obs
+# seam leaked an allocation onto the per-arrival path.
+printf '%s\n' "$dispatch" | awk '
+  /^BenchmarkDispatchPick/ {
+    allocs = ""
+    for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+    if (allocs == "") { printf "bench_smoke: %s reports no allocs/op\n", $1; exit 1 }
+    n++
+    if (allocs + 0 != 0) {
+      printf "bench_smoke: %s allocs/op=%s, want 0 — obs-disabled hot path allocates\n", $1, allocs
+      bad = 1
+    }
+  }
+  END {
+    if (n == 0) { print "bench_smoke: no DispatchPick rows for zero-alloc gate"; exit 1 }
+    if (bad) exit 1
+    printf "bench_smoke: %d DispatchPick rows allocation-free (obs-disabled zero-alloc gate)\n", n
+  }'
+
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 {
   go test -run '^$' -bench 'BenchmarkShardedFleetReplay/100servers_x1_2h$' -benchtime 3x -timeout 20m .
   go test -run '^$' -bench 'BenchmarkSweepRunner$' -benchtime 3x -timeout 20m .
-  # Fixed iteration count: the pick stream is deterministic, so pinning
-  # b.N makes both sides of the diff time the identical instruction
-  # stream (default benchtime varies b.N and with it the ramp-up vs
-  # steady-state mix, which swamps the gate on sub-µs rows).
-  go test -run '^$' -bench 'BenchmarkDispatchPick' -benchtime 2000000x -timeout 20m .
+  printf '%s\n' "$dispatch"
 } | go run ./cmd/benchfmt > "$tmp"
 
 # Diff lines look like:
