@@ -75,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		warmFirst = fs.Bool("warm-first", false, "prefer servers holding a warm instance, fall back to -dispatch for cold placement")
 	)
 	obsf := cliutil.RegisterObs(fs)
+	faultf := cliutil.RegisterFaults(fs)
 	if done, err := cliutil.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
@@ -105,6 +106,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := obsf.Validate(); err != nil {
 		return err
+	}
+	if err := faultf.Validate(); err != nil {
+		return err
+	}
+	faultCfg := faultf.Config(*seed)
+	if *asMode && faultCfg.StragglerMTBF > 0 {
+		return fmt.Errorf("-fault-straggler-mtbf is not supported with -autoscale (terminal crash/timeout/retry only)")
 	}
 	if *compare && (obsf.TraceOut != "" || obsf.ReportOut != "") {
 		return fmt.Errorf("-trace-out/-run-report describe a single run: drop -compare")
@@ -169,7 +177,7 @@ func run(args []string, stdout io.Writer) error {
 			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
 			seed: *seed, fifoCores: *fifoCores, limit: *limit,
 			shards: *shards, workers: *workers, window: *shardWindow,
-			csvPath: *csvPath, coldStart: coldStart, rig: rig,
+			csvPath: *csvPath, coldStart: coldStart, faults: faultCfg, rig: rig,
 		}); err != nil {
 			return err
 		}
@@ -194,7 +202,7 @@ func run(args []string, stdout io.Writer) error {
 			dispatch: faassched.Dispatch(*dispatch), sched: faassched.Scheduler(*sched),
 			policy: faassched.ScalePolicy(*asPolicy), spinUp: *asSpinUp, window: *asWindow,
 			seed: *seed, fifoCores: *fifoCores, limit: *limit, csvPath: *csvPath,
-			coldStart: coldStart, rig: rig,
+			coldStart: coldStart, faults: faultCfg, rig: rig,
 		}); err != nil {
 			return err
 		}
@@ -221,6 +229,7 @@ func run(args []string, stdout io.Writer) error {
 			FIFOCores:      *fifoCores,
 			TimeLimit:      *limit,
 			ColdStart:      coldStart,
+			Faults:         faultCfg,
 			Shards:         *shards,
 			Workers:        *workers,
 			Obs:            rig.Obs,
@@ -250,6 +259,13 @@ func run(args []string, stdout io.Writer) error {
 			n, done := res.Set.ColdStarts(), len(res.Set.Completed())
 			fmt.Fprintf(stdout, "# cold starts: %d of %d completed (%.2f%%)\n",
 				n, done, 100*float64(n)/float64(max(done, 1)))
+		}
+		if faultCfg.Enabled() {
+			fmt.Fprintf(stdout, "# faults: crashes=%d kills=%d retries=%d giveups=%d stragglers=%d | goodput %.2f%% retry-amp %.3f wasted-cpu %s\n",
+				res.Faults.Crashes, res.Faults.Kills, res.Faults.Retries,
+				res.Faults.GiveUps, res.Faults.StragglerWindows,
+				100*res.Set.Goodput(), res.Set.RetryAmplification(),
+				res.Set.WastedCPU().Round(time.Millisecond))
 		}
 		if !*compare {
 			printPerServer(stdout, res)
@@ -293,6 +309,7 @@ type autoscaleArgs struct {
 	limit           time.Duration
 	csvPath         string
 	coldStart       faassched.ColdStartOptions
+	faults          faassched.FaultOptions
 	rig             *cliutil.ObsRig
 }
 
@@ -314,6 +331,7 @@ func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs
 		SpinUp:         a.spinUp,
 		MetricsWindow:  a.window,
 		ColdStart:      a.coldStart,
+		Faults:         a.faults,
 		Obs:            a.rig.Obs,
 	}, faassched.SliceSource(invs))
 	if err != nil {
@@ -352,6 +370,11 @@ func runAutoscale(stdout io.Writer, invs []faassched.Invocation, a autoscaleArgs
 	if a.coldStart.Enabled() {
 		fig.Note("cold starts: %d (retiring a server destroys its warm pool)", stats.ColdStarts)
 	}
+	if a.faults.Enabled() {
+		fig.Note("faults: crashed=%d kills=%d retries=%d giveups=%d | goodput %.2f%% (crashed servers bill until the crash instant)",
+			stats.Crashed, stats.Faults.Kills, stats.Faults.Retries,
+			stats.Faults.GiveUps, 100*stats.Total().Goodput())
+	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, fig.Text())
 	if a.csvPath != "" {
@@ -375,6 +398,7 @@ type shardedArgs struct {
 	window          time.Duration
 	csvPath         string
 	coldStart       faassched.ColdStartOptions
+	faults          faassched.FaultOptions
 	rig             *cliutil.ObsRig
 }
 
@@ -394,6 +418,7 @@ func runSharded(stdout io.Writer, src faassched.Source, a shardedArgs) error {
 		Workers:        a.workers,
 		MetricsWindow:  a.window,
 		ColdStart:      a.coldStart,
+		Faults:         a.faults,
 		Obs:            a.rig.Obs,
 	}, src)
 	if err != nil {
@@ -433,6 +458,12 @@ func runSharded(stdout io.Writer, src faassched.Source, a shardedArgs) error {
 	fig.Note("ghost msgs=%d commits=%d fails=%d migrations=%d | kernel events=%d",
 		stats.Ghost.Delivered, stats.Ghost.Commits, stats.Ghost.Failed,
 		stats.Ghost.Migrations, stats.KernelEvents)
+	if a.faults.Enabled() {
+		fig.Note("faults: crashes=%d kills=%d retries=%d giveups=%d stragglers=%d | goodput %.2f%%",
+			stats.Faults.Crashes, stats.Faults.Kills, stats.Faults.Retries,
+			stats.Faults.GiveUps, stats.Faults.StragglerWindows,
+			100*stats.Total().Goodput())
+	}
 	for _, sh := range stats.PerShard {
 		fig.Note("shard %d: servers=%d invocations=%d events=%d (%.1f%%)",
 			sh.Shard, sh.Servers, sh.Invocations, sh.Events,

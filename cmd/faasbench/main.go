@@ -40,6 +40,9 @@ func run(args []string, stdout io.Writer) error {
 		csLatency  = fs.Duration("coldstart-latency", 0, "override the ext-coldstart instance spin-up latency (0 = default 250ms)")
 		keepAlive  = fs.Duration("keepalive", 0, "pin ext-coldstart to one keep-alive TTL instead of the sweep (0 = sweep, negative = infinite)")
 		csPoolMB   = fs.Int("coldstart-pool-mb", 0, "bound each server's ext-coldstart warm-pool memory in MB (0 = unbounded)")
+		faultMTBF  = fs.Duration("fault-crash-mtbf", 0, "override the ext-faults per-server crash MTBF (0 = default 45s)")
+		faultTO    = fs.Duration("fault-timeout", 0, "override the ext-faults invocation deadline (0 = default 20s)")
+		faultTries = fs.Int("fault-retries", 0, "override the ext-faults retry budget in attempts (0 = default 3)")
 		sweepW     = fs.Int("sweep-workers", 0, "bound the parallel sweep runner for grid experiments (0 = GOMAXPROCS, 1 = serial)")
 		out        = fs.String("out", "", "directory to write per-experiment CSV files (optional)")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
@@ -87,6 +90,15 @@ func run(args []string, stdout io.Writer) error {
 	if *sweepW < 0 {
 		return fmt.Errorf("-sweep-workers %d must be >= 0 (0 = GOMAXPROCS)", *sweepW)
 	}
+	if *faultMTBF < 0 {
+		return fmt.Errorf("-fault-crash-mtbf %v must be >= 0 (0 = default)", *faultMTBF)
+	}
+	if *faultTO < 0 {
+		return fmt.Errorf("-fault-timeout %v must be >= 0 (0 = default)", *faultTO)
+	}
+	if *faultTries < 0 {
+		return fmt.Errorf("-fault-retries %d must be >= 0 (0 = default)", *faultTries)
+	}
 	if err := obsf.Validate(); err != nil {
 		return err
 	}
@@ -114,6 +126,9 @@ func run(args []string, stdout io.Writer) error {
 	env.ColdStartLatency = *csLatency
 	env.ColdKeepAlive = *keepAlive
 	env.ColdPoolMB = *csPoolMB
+	env.FaultCrashMTBF = *faultMTBF
+	env.FaultTimeout = *faultTO
+	env.FaultMaxAttempts = *faultTries
 	env.SweepWorkers = *sweepW
 	rig, err := obsf.Start("faasbench", os.Stderr, 0)
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"github.com/faassched/faassched/internal/autoscale"
 	"github.com/faassched/faassched/internal/cluster"
 	"github.com/faassched/faassched/internal/core"
+	"github.com/faassched/faassched/internal/faults"
 	"github.com/faassched/faassched/internal/fib"
 	"github.com/faassched/faassched/internal/firecracker"
 	"github.com/faassched/faassched/internal/ghost"
@@ -332,6 +333,9 @@ func Simulate(opts Options, invs []Invocation) (*Result, error) {
 	if fleet != nil {
 		res.LaunchedVMs = fleet.Launched()
 		res.FailedVMs = fleet.Failed()
+		if reg := opts.Obs.Registry(); reg != nil {
+			reg.Counter(obs.CFcLaunchFails).Add(int64(res.FailedVMs))
+		}
 	}
 	return res, nil
 }
@@ -426,6 +430,9 @@ func SimulateStreamed(opts Options, src Source) (*Result, error) {
 	if fleet != nil {
 		res.LaunchedVMs = fleet.Launched()
 		res.FailedVMs = fleet.Failed()
+		if reg := opts.Obs.Registry(); reg != nil {
+			reg.Counter(obs.CFcLaunchFails).Add(int64(res.FailedVMs))
+		}
 	}
 	return res, nil
 }
@@ -481,7 +488,7 @@ func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
 		return nil, err
 	}
 	acc := metrics.NewAccumulator(pricing.Default())
-	kernel, _, err := runStream(opts, policy, src, acc)
+	kernel, fleet, err := runStream(opts, policy, src, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -490,6 +497,9 @@ func SimulateAccumulated(opts Options, src Source) (*StreamStats, error) {
 	}
 	if reg := opts.Obs.Registry(); reg != nil {
 		reg.Counter(obs.CInvocations).Add(int64(acc.Completed() + acc.FailedCount()))
+		if fleet != nil {
+			reg.Counter(obs.CFcLaunchFails).Add(int64(fleet.Failed()))
+		}
 	}
 	return &StreamStats{
 		Scheduler:   opts.Scheduler,
@@ -565,6 +575,20 @@ const (
 	DefaultKeepAlive        = cluster.DefaultKeepAlive
 )
 
+// FaultOptions re-exports the deterministic fault plan (DESIGN.md §14):
+// seeded per-server crash and straggler hazard processes, per-invocation
+// timeouts, and retry/backoff recovery. The zero value disables the layer
+// and reproduces pre-fault results byte for byte. Crash and timeout plans
+// require an evicting scheduler (fifo, cfs, or hybrid).
+type FaultOptions = faults.Config
+
+// RetryOptions re-exports the retry/backoff policy inside a fault plan.
+type RetryOptions = faults.RetryPolicy
+
+// FaultStats re-exports the fault activity counters (crashes, kills,
+// retries, give-ups, straggler windows).
+type FaultStats = faults.Stats
+
 // ClusterOptions configures a fleet simulation: Servers identical machines
 // of CoresPerServer cores each, every one running Scheduler, with Dispatch
 // routing each invocation to a server at its arrival time.
@@ -607,6 +631,10 @@ type ClusterOptions struct {
 	// progress heartbeats). Nil disables it entirely; observation never
 	// alters simulated behavior (DESIGN.md §13).
 	Obs *obs.Obs
+	// Faults is the deterministic fault plan (crashes, stragglers,
+	// timeouts, retries; DESIGN.md §14). A non-zero plan forces the
+	// streaming dataflow. The zero value changes nothing.
+	Faults FaultOptions
 }
 
 // ServerResult re-exports one server's share of a fleet simulation.
@@ -628,6 +656,9 @@ type ClusterResult struct {
 	PerServer []ServerResult
 	// Assignment maps each input invocation index to its server.
 	Assignment []int
+	// Faults aggregates fault-plan activity across routing layer and
+	// servers (zero when the plan is disabled).
+	Faults FaultStats
 }
 
 // ImbalanceRatio reports max-over-mean busy work across servers (1.0 is a
@@ -684,6 +715,7 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		Shards:    opts.Shards,
 		Workers:   opts.Workers,
 		Obs:       opts.Obs,
+		Faults:    opts.Faults,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
@@ -708,6 +740,7 @@ func SimulateCluster(opts ClusterOptions, invs []Invocation) (*ClusterResult, er
 		CoresPerServer: opts.CoresPerServer,
 		PerServer:      cres.PerServer,
 		Assignment:     cres.Assignment,
+		Faults:         cres.Faults,
 	}, nil
 }
 
@@ -739,6 +772,8 @@ type ShardedStats struct {
 	// PerShard reports each shard's server range and share of
 	// invocations and kernel events, by shard index.
 	PerShard []ShardUtil
+	// Faults aggregates fault-plan activity (zero when disabled).
+	Faults FaultStats
 
 	acc *metrics.WindowedAccumulator
 }
@@ -804,6 +839,7 @@ func SimulateShardedReplay(opts ClusterOptions, src Source) (*ShardedStats, erro
 		Shards:    opts.Shards,
 		Workers:   opts.Workers,
 		Obs:       opts.Obs,
+		Faults:    opts.Faults,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Policy: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
@@ -828,6 +864,7 @@ func SimulateShardedReplay(opts ClusterOptions, src Source) (*ShardedStats, erro
 		TicksElided:  rep.TicksElided,
 		KernelEvents: rep.Events,
 		PerShard:     rep.PerShard,
+		Faults:       rep.Faults,
 		acc:          rep.Windowed,
 	}, nil
 }
@@ -888,6 +925,10 @@ type AutoscaleOptions struct {
 	// progress heartbeats). Nil disables it entirely; observation never
 	// alters simulated behavior (DESIGN.md §13).
 	Obs *obs.Obs
+	// Faults is the deterministic fault plan, run in terminal mode: a
+	// crash retires the slot for good and a cold replacement is launched.
+	// Straggler plans are rejected here. The zero value changes nothing.
+	Faults FaultOptions
 }
 
 // autoscaleConfig resolves opts into the internal autoscaler config.
@@ -926,6 +967,7 @@ func autoscaleConfig(opts AutoscaleOptions) (AutoscaleOptions, autoscale.Config,
 		Seed:      opts.Seed,
 		ColdStart: opts.ColdStart,
 		Obs:       opts.Obs,
+		Faults:    opts.Faults,
 		Kernel:    simkern.DefaultConfig(opts.CoresPerServer),
 		Sched: func() ghost.Policy {
 			p, err := newPolicy(serverOpts)
@@ -973,6 +1015,10 @@ type AutoscaleStats struct {
 	// lifecycles.
 	Events  []FleetEvent
 	Servers []FleetServer
+	// Crashed counts servers the fault plan retired off-schedule; Faults
+	// holds the full fault counters (zero when the plan is disabled).
+	Crashed int
+	Faults  FaultStats
 
 	acc *metrics.WindowedAccumulator
 	res *autoscale.Result
@@ -1046,6 +1092,8 @@ func SimulateAutoscaled(opts AutoscaleOptions, src Source) (*AutoscaleStats, err
 		Drained:       res.Drained(),
 		Events:        res.Events,
 		Servers:       res.Servers,
+		Crashed:       res.Crashed(),
+		Faults:        res.Faults,
 		acc:           merged,
 		res:           res,
 	}, nil

@@ -204,6 +204,40 @@ func computeAutoscaledDigests(t *testing.T) map[string]string {
 	return out
 }
 
+// computeInstrumentedDigests reruns the fleet half of the golden matrix
+// with the fault seam threaded but every fault rate zero (Instrument:
+// true — machines constructed, routing hooks installed, the streamed
+// dataflow forced). The digests are compared against the SAME committed
+// cluster keys: the fault layer must be byte-for-byte inert when its
+// plan is empty (DESIGN.md §14).
+func computeInstrumentedDigests(t *testing.T) map[string]string {
+	t.Helper()
+	invs := goldenWorkload(t)
+	out := map[string]string{}
+	o := goldenObs(t)
+	seam := FaultOptions{Instrument: true}
+
+	for _, d := range Dispatches() {
+		cres, err := SimulateCluster(ClusterOptions{
+			Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid,
+			Seed: 1, Faults: seam, Obs: o,
+		}, invs)
+		if err != nil {
+			t.Fatalf("instrumented cluster %s: %v", d, err)
+		}
+		out["cluster/hybrid/"+string(d)] = digestCluster(cres)
+	}
+	cres, err := SimulateCluster(ClusterOptions{
+		Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS,
+		Seed: 1, Faults: seam, Obs: o,
+	}, invs)
+	if err != nil {
+		t.Fatalf("instrumented cluster cfs: %v", err)
+	}
+	out["cluster/cfs/least-loaded"] = digestCluster(cres)
+	return out
+}
+
 func TestGoldenDigests(t *testing.T) {
 	got := computeDigests(t)
 
@@ -224,6 +258,16 @@ func TestGoldenDigests(t *testing.T) {
 	for k, v := range autoscaled {
 		if got[k] != v {
 			t.Errorf("pinned autoscaler diverges from fixed fleet on %s:\n  autoscaled %.12s…\n  fixed      %.12s…", k, v, got[k])
+		}
+	}
+
+	// The fault seam threaded with an empty plan (Instrument) must also
+	// reproduce the committed digests — the inertness bar for the fault
+	// layer.
+	instrumented := computeInstrumentedDigests(t)
+	for k, v := range instrumented {
+		if got[k] != v {
+			t.Errorf("instrumented fault seam diverges from fault-free run on %s:\n  instrumented %.12s…\n  fault-free   %.12s…", k, v, got[k])
 		}
 	}
 

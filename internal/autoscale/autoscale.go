@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/faassched/faassched/internal/cluster"
+	"github.com/faassched/faassched/internal/faults"
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/obs"
@@ -101,6 +102,15 @@ type Config struct {
 	// progress). Nil disables it entirely; observation never alters
 	// simulated behavior (DESIGN.md §13).
 	Obs *obs.Obs
+	// Faults is the deterministic fault plan (DESIGN.md §14). Autoscale
+	// runs it in terminal mode: a server's first scheduled crash after its
+	// ReadyAt retires the slot for good — residents are killed, the warm
+	// pool is destroyed, and the controller launches a cold replacement
+	// (cooldown-exempt, still bounded by Max). Timeouts and retries apply
+	// per server exactly as in the fixed fleet; straggler plans are
+	// rejected (a slot that can be replaced has no slow-window identity).
+	// The zero value changes nothing.
+	Faults faults.Config
 }
 
 // EventKind classifies a scale event.
@@ -165,6 +175,11 @@ type Server struct {
 	// Canceled marks a server drained while still booting: it never
 	// served, and was billed only for the partial spin-up.
 	Canceled bool
+	// Crashed marks an unplanned retirement: the fault plan killed the
+	// server at DrainAt (billing stops there — a dead machine bills no
+	// drain tail), its residents were killed in-kernel, and a cold
+	// replacement was launched if Max allowed.
+	Crashed bool
 	// Routed counts invocations dispatched here; Completed/Failed count
 	// retired records (their sum always equals Routed — drain-before-
 	// retire never drops an admitted task).
@@ -226,6 +241,21 @@ type Result struct {
 	// Assignment maps each invocation index to its server, when
 	// Config.TrackAssignment was set.
 	Assignment []int
+	// Faults aggregates fault-plan activity: Crashes counts unplanned
+	// retirements (controller-side), Kills/Retries/GiveUps come from the
+	// per-server machines. Zero when Config.Faults is disabled.
+	Faults faults.Stats
+}
+
+// Crashed counts servers retired by the fault plan.
+func (r *Result) Crashed() int {
+	n := 0
+	for i := range r.Servers {
+		if r.Servers[i].Crashed {
+			n++
+		}
+	}
+	return n
 }
 
 // Launched returns how many servers were ever launched.
@@ -405,6 +435,13 @@ type serverState struct {
 	simSpan   time.Duration // kernel makespan, read after done
 	tickStats ghost.Stats   // enclave delegation counters, read after done
 	events    uint64        // scheduled kernel events, read after done
+	// crashAt is the slot's terminal crash instant from the fault plan
+	// (first scheduled crash strictly after ReadyAt), or Never. Fixed at
+	// launch; the controller and the in-kernel machine share it.
+	crashAt time.Duration
+	// fm is the per-server fault machine (terminal mode), built at
+	// activation and read (Stats) only after done. Nil without a plan.
+	fm *faults.Machine
 }
 
 // run is the per-server goroutine: the shared streamed runner pulling
@@ -421,7 +458,7 @@ func (sv *serverState) run(cfg Config, policy ghost.Policy) {
 		kcfg.Probe = tr.KernelProbe(sv.Index)
 		gcfg.Probe = tr.GhostProbe(sv.Index)
 	}
-	k, err := cluster.RunStreamedServer(kcfg, policy, gcfg, cfg.Window, next, &sv.count, &sv.tickStats)
+	k, err := cluster.RunStreamedServer(kcfg, policy, gcfg, cfg.Window, sv.fm, next, &sv.count, &sv.tickStats)
 	if err != nil {
 		sv.err = err
 		for range sv.ch {
@@ -463,7 +500,24 @@ type controller struct {
 	// enabled (DESIGN.md §13).
 	warmHits, coldMisses *obs.Counter
 	pg                   *obs.Progress
+	// faultsOn caches cfg.Faults.Enabled().
+	faultsOn bool
+	// nextCrash is the earliest crashAt among current candidates (may be
+	// stale-low after removals, never stale-high): the cheap per-arrival
+	// gate on the crash sweep.
+	nextCrash time.Duration
+	// crashedOpen lists crashed servers whose routing channels are still
+	// open: while every candidate is down and replacements boot, arrivals
+	// queue on the most recent of these (delivery kills them in-kernel).
+	// Channels close as soon as a live candidate exists again.
+	crashedOpen []int
+	// crashes counts unplanned retirements (Result.Faults.Crashes).
+	crashes  int64
+	crashCtr *obs.Counter // autoscale.crashes, nil without a registry
 }
+
+// farFuture is the nextCrash sentinel for "no candidate ever crashes".
+const farFuture = time.Duration(math.MaxInt64)
 
 // validate applies Config defaulting and sanity checks.
 func (cfg *Config) validate() (up, down float64, err error) {
@@ -482,6 +536,12 @@ func (cfg *Config) validate() (up, down float64, err error) {
 	if cfg.SpinUp < 0 || cfg.UpCooldown < 0 || cfg.DownCooldown < 0 {
 		return 0, 0, fmt.Errorf("autoscale: negative latency (spin-up %v, cooldowns %v/%v)",
 			cfg.SpinUp, cfg.UpCooldown, cfg.DownCooldown)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if cfg.Faults.StragglerMTBF > 0 {
+		return 0, 0, fmt.Errorf("autoscale: straggler plans are not supported (terminal crash/timeout/retry only)")
 	}
 	if cfg.Policy == "" {
 		cfg.Policy = PolicyTargetUtilization
@@ -519,13 +579,15 @@ func Run(cfg Config, src workload.Source) (*Result, error) {
 	// gating without risking subtraction overflow against run timestamps.
 	const distantPast = time.Duration(math.MinInt64 / 2)
 	c := &controller{
-		cfg:     cfg,
-		up:      up,
-		down:    down,
-		model:   cluster.NewFleetModel(0, cfg.Kernel.Cores),
-		track:   newInflight(),
-		lastUp:  distantPast,
-		lastDwn: distantPast,
+		cfg:       cfg,
+		up:        up,
+		down:      down,
+		model:     cluster.NewFleetModel(0, cfg.Kernel.Cores),
+		track:     newInflight(),
+		lastUp:    distantPast,
+		lastDwn:   distantPast,
+		faultsOn:  cfg.Faults.Enabled(),
+		nextCrash: farFuture,
 	}
 	if c.disp, err = cluster.NewDispatcher(cfg.Dispatch, cfg.Seed, c.model); err != nil {
 		return nil, err
@@ -537,9 +599,14 @@ func Run(cfg Config, src workload.Source) (*Result, error) {
 		}
 	}
 	c.pg = cfg.Obs.Progress()
-	if reg := cfg.Obs.Registry(); reg != nil && c.pools != nil {
-		c.warmHits = reg.Counter(obs.CColdWarmHits)
-		c.coldMisses = reg.Counter(obs.CColdMisses)
+	if reg := cfg.Obs.Registry(); reg != nil {
+		if c.pools != nil {
+			c.warmHits = reg.Counter(obs.CColdWarmHits)
+			c.coldMisses = reg.Counter(obs.CColdMisses)
+		}
+		if c.faultsOn {
+			c.crashCtr = reg.Counter(obs.CScaleCrashes)
+		}
 	}
 	// The Min floor is provisioned before the run: launched and ready at
 	// time zero, exactly the fixed fleet's starting state.
@@ -598,6 +665,10 @@ func (c *controller) processArrival(inv workload.Invocation, idx int) error {
 	if err := c.activate(t); err != nil {
 		return err
 	}
+	if c.faultsOn {
+		c.sweepCrashes(t)
+		c.closeCrashed()
+	}
 	if c.cfg.Policy == PolicyQueueDepth {
 		c.track.advance(t)
 	}
@@ -620,7 +691,15 @@ func (c *controller) launch(t, ready time.Duration) {
 	}
 	sv := &serverState{Server: Server{
 		Index: idx, LaunchAt: t, ReadyAt: ready, DrainAt: Never, RetireAt: Never,
-	}}
+	}, crashAt: Never}
+	if c.faultsOn && c.cfg.Faults.CrashMTBF > 0 {
+		// The slot's terminal crash: first scheduled crash strictly after
+		// readiness (a boot cannot crash — it is not a machine yet). The
+		// in-kernel machine gets the same instant at activation.
+		if at, ok := faults.NewSchedule(c.cfg.Faults, idx).NextCrash(ready); ok {
+			sv.crashAt = at
+		}
+	}
 	c.servers = append(c.servers, sv)
 	c.pending = append(c.pending, idx)
 	c.events = append(c.events, Event{Time: t, Kind: EventLaunch, Server: idx})
@@ -647,11 +726,17 @@ func (c *controller) activate(t time.Duration) error {
 			sv.count.inner = sv.Set
 		}
 		sv.count.inner = c.cfg.Obs.WrapSink(idx, sv.count.inner)
+		if c.faultsOn {
+			sv.fm = faults.NewTerminalMachine(c.cfg.Faults, idx, sv.crashAt)
+		}
 		sv.ch = make(chan cluster.Routed, chanBuf)
 		sv.done = make(chan struct{})
 		sv.started = true
 		c.pool.submit(func() { sv.run(c.cfg, policy) })
 		c.candidates = append(c.candidates, idx)
+		if sv.crashAt != Never && sv.crashAt < c.nextCrash {
+			c.nextCrash = sv.crashAt
+		}
 		// Keep the model's indexed dispatch set equal to the candidate
 		// slice: launches sit outside it until they activate here.
 		c.model.SetEligible(idx, true, t)
@@ -660,13 +745,100 @@ func (c *controller) activate(t time.Duration) error {
 	return nil
 }
 
+// sweepCrashes applies every candidate crash due by t: the fault plan's
+// unplanned retirement. The crashed slot frees its Max share immediately
+// (a dead machine hands no capacity over), so one cold replacement per
+// crash launches at once, cooldown-exempt, Max permitting.
+func (c *controller) sweepCrashes(t time.Duration) {
+	if t < c.nextCrash {
+		return
+	}
+	crashed := 0
+	kept := c.candidates[:0]
+	for _, s := range c.candidates {
+		sv := c.servers[s]
+		if sv.crashAt != Never && sv.crashAt <= t {
+			c.crash(sv, t)
+			crashed++
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	c.candidates = kept
+	c.nextCrash = farFuture
+	for _, s := range c.candidates {
+		if sv := c.servers[s]; sv.crashAt != Never && sv.crashAt < c.nextCrash {
+			c.nextCrash = sv.crashAt
+		}
+	}
+	for ; crashed > 0; crashed-- {
+		if len(c.candidates)+len(c.pending)+c.drainingBusy(t) >= c.cfg.Max {
+			break
+		}
+		c.launch(t, t+c.cfg.SpinUp)
+	}
+}
+
+// crash retires one server off-plan: billing stops at the crash instant,
+// routing eligibility ends now, the warm pool is gone. The in-kernel
+// machine (which shares crashAt) kills the residents; the routing channel
+// stays open until a live candidate exists, so a fully-down fleet can
+// still queue work here (killed on delivery).
+func (c *controller) crash(sv *serverState, t time.Duration) {
+	at := sv.crashAt
+	sv.DrainAt, sv.RetireAt, sv.Crashed = at, at, true
+	c.model.SetEligible(sv.Index, false, t)
+	c.track.drop(sv.Index)
+	if c.pools != nil {
+		c.pools.DropServer(sv.Index)
+	}
+	c.crashedOpen = append(c.crashedOpen, sv.Index)
+	c.crashes++
+	if c.crashCtr != nil {
+		c.crashCtr.Inc()
+	}
+	if tr := c.cfg.Obs.Tracer(); tr != nil {
+		tr.FaultEvent("crash", sv.Index, at)
+	}
+	c.events = append(c.events, Event{Time: at, Kind: EventDrain, Server: sv.Index})
+}
+
+// closeCrashed closes crashed servers' routing channels once a live
+// candidate exists again (they are no longer needed as the last-resort
+// queue), letting their kernels drain and retire.
+func (c *controller) closeCrashed() {
+	if len(c.crashedOpen) == 0 || len(c.candidates) == 0 {
+		return
+	}
+	for _, s := range c.crashedOpen {
+		sv := c.servers[s]
+		close(sv.ch)
+		sv.closed = true
+	}
+	c.crashedOpen = c.crashedOpen[:0]
+}
+
 // route dispatches one invocation among the candidates and books it into
 // the causal model.
 func (c *controller) route(inv workload.Invocation, idx int) error {
-	s := c.disp.Pick(inv, c.candidates)
-	i := sort.SearchInts(c.candidates, s)
-	if i >= len(c.candidates) || c.candidates[i] != s {
-		return fmt.Errorf("autoscale: dispatch %q picked non-candidate server %d", c.cfg.Dispatch, s)
+	var s int
+	if len(c.candidates) == 0 && c.faultsOn {
+		// Every candidate crashed and the replacements are still booting:
+		// queue on the most recently crashed server. Delivery kills the
+		// task in-kernel (fail-fast) and the retry budget — futile against
+		// a terminal crash — decides its give-up record, so the arrival is
+		// still accounted for.
+		n := len(c.crashedOpen)
+		if n == 0 {
+			return fmt.Errorf("autoscale: no routable server at %v", inv.Arrival)
+		}
+		s = c.crashedOpen[n-1]
+	} else {
+		s = c.disp.Pick(inv, c.candidates)
+		i := sort.SearchInts(c.candidates, s)
+		if i >= len(c.candidates) || c.candidates[i] != s {
+			return fmt.Errorf("autoscale: dispatch %q picked non-candidate server %d", c.cfg.Dispatch, s)
+		}
 	}
 	var cold, finish time.Duration
 	if c.pools == nil {
@@ -837,8 +1009,10 @@ func (c *controller) finish(routed int) (*Result, error) {
 			sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
 		}
 		switch {
-		case sv.Canceled:
-			// RetireAt already set at the drain instant.
+		case sv.Canceled, sv.Crashed:
+			// RetireAt already set: a cancel bills to the drain instant, a
+			// crash to the crash instant (post-crash kernel activity is
+			// kill bookkeeping on a machine no longer billed).
 		case sv.DrainAt != Never:
 			sv.RetireAt = sv.DrainAt
 			if sv.Makespan > sv.RetireAt {
@@ -862,8 +1036,12 @@ func (c *controller) finish(routed int) (*Result, error) {
 		res.ServerSeconds += sv.BilledSeconds()
 		res.Stats.Accumulate(sv.tickStats)
 		res.KernelEvents += sv.events
+		if sv.fm != nil {
+			res.Faults.Accumulate(sv.fm.Stats())
+		}
 		res.Servers = append(res.Servers, sv.Server)
 	}
+	res.Faults.Crashes = c.crashes
 	res.TicksFired, res.TicksElided = res.Stats.Ticks, res.Stats.TicksElided
 
 	sort.SliceStable(events, func(i, j int) bool {
@@ -903,6 +1081,12 @@ func (c *controller) finish(routed int) (*Result, error) {
 		}
 		for i := range events {
 			kinds[events[i].Kind].Inc()
+		}
+		if c.faultsOn {
+			reg.Counter(obs.CFaultCrashes).Add(res.Faults.Crashes)
+			reg.Counter(obs.CFaultKills).Add(res.Faults.Kills)
+			reg.Counter(obs.CFaultRetries).Add(res.Faults.Retries)
+			reg.Counter(obs.CFaultGiveUps).Add(res.Faults.GiveUps)
 		}
 	}
 	if tr := c.cfg.Obs.Tracer(); tr != nil {

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/faassched/faassched/internal/faults"
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/obs"
@@ -77,6 +78,14 @@ type Config struct {
 	// progress). Nil disables it entirely; observation never alters
 	// simulated behavior (DESIGN.md §13).
 	Obs *obs.Obs
+	// Faults is the deterministic fault plan (server crashes, straggler
+	// windows, invocation timeouts, retry/backoff — DESIGN.md §14). The
+	// zero value disables the layer and leaves every code path
+	// byte-for-byte unchanged. An enabled plan forces the streaming
+	// per-server dataflow (kills and retries need the abort/admit seam),
+	// and plans that kill require a ghost.TaskEvictor policy (fifo, cfs,
+	// hybrid).
+	Faults faults.Config
 }
 
 // shardRanges splits n servers into at most shards contiguous [lo, hi)
@@ -136,6 +145,9 @@ type ServerResult struct {
 	Stats ghost.Stats
 	// Events is how many kernel events this server's run scheduled.
 	Events uint64
+	// Faults holds this server's fault-machine counters (kills, retries,
+	// give-ups); zero when the fault plan is disabled.
+	Faults faults.Stats
 }
 
 // Result is a finished fleet simulation.
@@ -159,6 +171,9 @@ type Result struct {
 	Stats ghost.Stats
 	// Events sums scheduled kernel events across servers.
 	Events uint64
+	// Faults aggregates fault activity fleet-wide: router-side crash and
+	// straggler windows plus every machine's kills/retries/give-ups.
+	Faults faults.Stats
 }
 
 // Imbalance reports max-over-mean busy work across servers: 1.0 is a
@@ -193,17 +208,24 @@ type Routed struct {
 	// incurred (zero on warm hits and with the model disabled). The
 	// per-server run adds it to the task's service demand.
 	ColdStart time.Duration
+	// Slow is the straggler surcharge the fault plan charges work that
+	// starts inside a slowdown window (zero outside windows and with the
+	// plan disabled); folded into service demand like ColdStart.
+	Slow time.Duration
 }
 
-// applyColdStart folds the routing decision's cold-start penalty into
-// the task's service demand: instance init is CPU work on the instance,
-// which is exactly how OS scheduling and function start behavior
-// interact. Both the slice path and the task-pool path apply the same
-// fold.
+// applyColdStart folds the routing decision's demand surcharges into the
+// task's service demand: instance init is CPU work on the instance
+// (which is exactly how OS scheduling and function start behavior
+// interact), and a straggler window stretches CPU work the same way.
+// Both the slice path and the task-pool path apply the same fold.
 func (r Routed) applyColdStart(t *simkern.Task) *simkern.Task {
 	if r.ColdStart > 0 {
 		t.Work += r.ColdStart
 		t.ColdStart = r.ColdStart
+	}
+	if r.Slow > 0 {
+		t.Work += r.Slow
 	}
 	return t
 }
@@ -227,6 +249,9 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	for i := 1; i < len(invs); i++ {
 		if invs[i].Arrival < invs[i-1].Arrival {
@@ -254,6 +279,7 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	for s := range candidates {
 		candidates[s] = s
 	}
+	rf := newRouteFaults(cfg.Faults, cfg.Servers, model, pools, cfg.Obs.Tracer())
 	// Routing runs single-threaded, so the cold-start tallies and
 	// progress publishing live here on the control thread.
 	var warmHits, coldMisses *obs.Counter
@@ -265,18 +291,31 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 	assignment := make([]int, len(invs))
 	perServer := make([][]Routed, cfg.Servers)
 	for i, inv := range invs {
-		s := disp.Pick(inv, candidates)
+		cand := candidates
+		if rf != nil {
+			cand = rf.route(inv.Arrival)
+		}
+		var s int
+		if rf != nil && len(cand) == 0 {
+			s = rf.fallback()
+		} else {
+			s = disp.Pick(inv, cand)
+		}
 		if s < 0 || s >= cfg.Servers {
 			return nil, fmt.Errorf("cluster: dispatch %q picked server %d of %d", cfg.Dispatch, s, cfg.Servers)
 		}
+		var slow time.Duration
+		if rf != nil {
+			slow = rf.slow(s, inv.Arrival, inv.Duration)
+		}
 		var cold time.Duration
 		if pools == nil {
-			model.Assign(s, inv)
+			model.AssignDemand(s, inv.Arrival, inv.Duration+slow)
 		} else {
 			if pools.IsCold(s, inv, inv.Arrival) {
 				cold = cfg.ColdStart.Latency
 			}
-			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
+			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold+slow)
 			pools.Book(s, inv, inv.Arrival, finish, cold > 0)
 			if cold > 0 {
 				if coldMisses != nil {
@@ -287,7 +326,7 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 			}
 		}
 		assignment[i] = s
-		perServer[s] = append(perServer[s], Routed{Inv: inv, Idx: i, ColdStart: cold})
+		perServer[s] = append(perServer[s], Routed{Inv: inv, Idx: i, ColdStart: cold, Slow: slow})
 		if pg != nil {
 			pg.Routed.Add(1)
 			pg.Watermark.Store(int64(inv.Arrival))
@@ -350,9 +389,13 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 		res.Preemptions += sr.Preemptions
 		res.Stats.Accumulate(sr.Stats)
 		res.Events += sr.Events
+		res.Faults.Accumulate(sr.Faults)
 		if sr.Makespan > res.Makespan {
 			res.Makespan = sr.Makespan
 		}
+	}
+	if rf != nil {
+		res.Faults.Accumulate(rf.stats())
 	}
 	sort.Slice(res.Set.Records, func(i, j int) bool {
 		return res.Set.Records[i].ID < res.Set.Records[j].ID
@@ -361,6 +404,9 @@ func Simulate(cfg Config, invs []workload.Invocation) (*Result, error) {
 		reg.AddGhostStats(res.Stats)
 		reg.Counter(obs.CKernEvents).Add(int64(res.Events))
 		reg.Counter(obs.CInvocations).Add(int64(len(invs)))
+		if rf != nil {
+			addFaultStats(reg, res.Faults)
+		}
 	}
 	return res, nil
 }
@@ -374,8 +420,17 @@ func runServer(s int, cfg Config, policy ghost.Policy, share []Routed) (ServerRe
 	kcfg, gcfg := obsConfigs(cfg.Kernel, cfg.Ghost, cfg.Obs, s)
 	var k *simkern.Kernel
 	var err error
-	if cfg.Streamed {
-		k, out.Set, err = runStreamed(s, cfg, kcfg, gcfg, policy, share, &out.Stats)
+	var fm *faults.Machine
+	if cfg.Faults.Enabled() {
+		fm = faults.NewMachine(cfg.Faults, s)
+	}
+	if cfg.Streamed || fm != nil {
+		// Faults force the streaming dataflow: kills and retries work
+		// through the abort/admit seam only the per-server stream has.
+		k, out.Set, err = runStreamed(s, cfg, kcfg, gcfg, policy, fm, share, &out.Stats)
+		if fm != nil {
+			out.Faults = fm.Stats()
+		}
 	} else {
 		tasks := make([]*simkern.Task, 0, len(share))
 		for _, r := range share {
@@ -415,18 +470,32 @@ func obsConfigs(kcfg simkern.Config, gcfg ghost.Config, o *obs.Obs, server int) 
 // and every completion is pushed into sink in completion order. Both the
 // fixed fleet (share slice) and the autoscale layer (routing channel) wrap
 // this one runner, so their per-server simulations are the same
-// computation by construction. stats, when non-nil, receives the server
-// enclave's delegation counters (fired vs elided agent ticks) after the
-// run drains.
+// computation by construction. fm, when non-nil, interposes the server's
+// fault machine on the policy, the sink, and the task build (crash
+// kills, timeouts, retries — DESIGN.md §14). stats, when non-nil,
+// receives the server enclave's delegation counters (fired vs elided
+// agent ticks) after the run drains.
 func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Config,
-	window time.Duration, next func() (Routed, bool), sink metrics.Sink, stats *ghost.Stats) (*simkern.Kernel, error) {
+	window time.Duration, fm *faults.Machine, next func() (Routed, bool), sink metrics.Sink, stats *ghost.Stats) (*simkern.Kernel, error) {
 	pool := workload.NewTaskPool()
 	src := func() (*simkern.Task, bool) {
 		r, ok := next()
 		if !ok {
 			return nil, false
 		}
-		return r.applyColdStart(pool.Get(r.Inv, simkern.TaskID(r.Idx+1))), true
+		t := r.applyColdStart(pool.Get(r.Inv, simkern.TaskID(r.Idx+1)))
+		if fm != nil {
+			fm.Note(t, r.Inv.Duration, r.Inv.TimeoutMS)
+		}
+		return t, true
+	}
+	if fm != nil {
+		var err error
+		if policy, err = fm.WrapPolicy(policy); err != nil {
+			return nil, err
+		}
+		sink = fm.WrapSink(sink)
+		fm.SetRecycle(func(t *simkern.Task) { pool.Put(t) })
 	}
 	return simrun.ExecStream(kcfg, policy, gcfg, src, simrun.StreamConfig{
 		Window:  window,
@@ -441,7 +510,7 @@ func RunStreamedServer(kcfg simkern.Config, policy ghost.Policy, gcfg ghost.Conf
 // invocation id, which is exactly the order metrics.Collect reports for
 // the materialized path.
 func runStreamed(s int, cfg Config, kcfg simkern.Config, gcfg ghost.Config,
-	policy ghost.Policy, share []Routed, stats *ghost.Stats) (*simkern.Kernel, metrics.Set, error) {
+	policy ghost.Policy, fm *faults.Machine, share []Routed, stats *ghost.Stats) (*simkern.Kernel, metrics.Set, error) {
 	i := 0
 	next := func() (Routed, bool) {
 		if i >= len(share) {
@@ -452,7 +521,7 @@ func runStreamed(s int, cfg Config, kcfg simkern.Config, gcfg ghost.Config,
 		return r, true
 	}
 	var set metrics.Set
-	k, err := RunStreamedServer(kcfg, policy, gcfg, cfg.Window, next, cfg.Obs.WrapSink(s, &set), stats)
+	k, err := RunStreamedServer(kcfg, policy, gcfg, cfg.Window, fm, next, cfg.Obs.WrapSink(s, &set), stats)
 	if err != nil {
 		return nil, metrics.Set{}, err
 	}

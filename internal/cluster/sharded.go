@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/faassched/faassched/internal/faults"
 	"github.com/faassched/faassched/internal/ghost"
 	"github.com/faassched/faassched/internal/metrics"
 	"github.com/faassched/faassched/internal/obs"
@@ -54,6 +55,7 @@ const shardChanBuf = 256
 type shardedServer struct {
 	inc         *simrun.Incremental
 	set         *metrics.Set // exact mode only
+	fm          *faults.Machine
 	invocations int
 }
 
@@ -72,6 +74,7 @@ type shardWorker struct {
 	stats    ghost.Stats
 	events   uint64
 	invs     int
+	faults   faults.Stats
 	// reg is the shard-local counter registry (nil when counters are
 	// off); shard registries merge in shard-index order after the run,
 	// MergeTree-style, so totals are bit-stable at any shard count.
@@ -110,10 +113,16 @@ func (w *shardWorker) run(done chan<- struct{}) {
 		w.stats.Accumulate(sv.inc.Stats())
 		w.events += sv.inc.Events()
 		w.invs += sv.invocations
+		if sv.fm != nil {
+			w.faults.Accumulate(sv.fm.Stats())
+		}
 	}
 	if w.reg != nil {
 		w.reg.AddGhostStats(w.stats)
 		w.reg.Counter(obs.CKernEvents).Add(int64(w.events))
+		if w.cfg.Faults.Enabled() {
+			addFaultStats(w.reg, w.faults)
+		}
 	}
 }
 
@@ -131,15 +140,35 @@ func (w *shardWorker) admit(server int, r Routed) {
 			sink = w.acc
 		}
 		kcfg, gcfg := obsConfigs(w.cfg.Kernel, w.cfg.Ghost, w.cfg.Obs, server)
-		inc, err := simrun.NewIncremental(kcfg, w.policies[server], gcfg, w.cfg.Obs.WrapSink(server, sink))
+		policy := w.policies[server]
+		wrapped := w.cfg.Obs.WrapSink(server, sink)
+		if w.cfg.Faults.Enabled() {
+			// Same interposition as RunStreamedServer: the machine sits
+			// between the retirer and the policy, and on the record path.
+			sv.fm = faults.NewMachine(w.cfg.Faults, server)
+			var err error
+			if policy, err = sv.fm.WrapPolicy(policy); err != nil {
+				w.err = err
+				return
+			}
+			wrapped = sv.fm.WrapSink(wrapped)
+		}
+		inc, err := simrun.NewIncremental(kcfg, policy, gcfg, wrapped)
 		if err != nil {
 			w.err = err
 			return
 		}
 		sv.inc = inc
+		if sv.fm != nil {
+			pool := inc.Pool()
+			sv.fm.SetRecycle(func(t *simkern.Task) { pool.Put(t) })
+		}
 		w.servers[local] = sv
 	}
 	t := r.applyColdStart(sv.inc.Pool().Get(r.Inv, simkern.TaskID(r.Idx+1)))
+	if sv.fm != nil {
+		sv.fm.Note(t, r.Inv.Duration, r.Inv.TimeoutMS)
+	}
 	if err := sv.inc.Admit(t); err != nil {
 		w.err = err
 		return
@@ -186,6 +215,10 @@ type ShardedReplay struct {
 	// PerShard breaks invocations and events down by shard, in shard
 	// order — run-report material for spotting load imbalance.
 	PerShard []obs.ShardUtil
+	// Faults aggregates fault activity fleet-wide (router crash/straggler
+	// windows plus per-machine kills/retries/give-ups); zero when the
+	// plan is disabled.
+	Faults faults.Stats
 }
 
 // SimulateShardedWindowed streams src through a sharded fleet, folding
@@ -195,7 +228,7 @@ type ShardedReplay struct {
 // the workload length — this is the entry point for the 1,000-server
 // ×10-volume multi-day replays.
 func SimulateShardedWindowed(cfg Config, src workload.Source, tariff pricing.Tariff, width time.Duration) (*ShardedReplay, error) {
-	workers, invocations, _, err := runSharded(cfg, src, false, tariff, width)
+	workers, invocations, _, rfStats, err := runSharded(cfg, src, false, tariff, width)
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +238,7 @@ func SimulateShardedWindowed(cfg Config, src workload.Source, tariff pricing.Tar
 		Dispatch:    cfg.Dispatch,
 		Invocations: invocations,
 	}
+	rep.Faults.Accumulate(rfStats)
 	accs := make([]*metrics.WindowedAccumulator, len(workers))
 	rep.PerShard = make([]obs.ShardUtil, len(workers))
 	for i, w := range workers {
@@ -214,6 +248,7 @@ func SimulateShardedWindowed(cfg Config, src workload.Source, tariff pricing.Tar
 		}
 		rep.Stats.Accumulate(w.stats)
 		rep.Events += w.events
+		rep.Faults.Accumulate(w.faults)
 		rep.PerShard[i] = obs.ShardUtil{Shard: i, Servers: w.hi - w.lo, Invocations: w.invs, Events: w.events}
 	}
 	rep.TicksFired = rep.Stats.Ticks
@@ -234,7 +269,7 @@ func SimulateShardedWindowed(cfg Config, src workload.Source, tariff pricing.Tar
 // count. This is the equivalence-test mode; it holds every record in
 // memory, so use the windowed entry point for long horizons.
 func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
-	workers, _, assignment, err := runSharded(cfg, src, true, pricing.Tariff{}, 0)
+	workers, _, assignment, rfStats, err := runSharded(cfg, src, true, pricing.Tariff{}, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +279,7 @@ func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
 		PerServer:  make([]ServerResult, cfg.Servers),
 		Assignment: assignment,
 	}
+	res.Faults.Accumulate(rfStats)
 	for s := range res.PerServer {
 		res.PerServer[s].Server = s
 	}
@@ -253,6 +289,7 @@ func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
 		}
 		res.Stats.Accumulate(w.stats)
 		res.Events += w.events
+		res.Faults.Accumulate(w.faults)
 		for local, sv := range w.servers {
 			if sv == nil {
 				continue
@@ -279,18 +316,18 @@ func SimulateShardedExact(cfg Config, src workload.Source) (*Result, error) {
 // runSharded is the shared router + shard-worker engine. It returns the
 // finished workers (in shard order), the total invocation count, and the
 // per-invocation assignment (exact mode only).
-func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tariff, width time.Duration) ([]*shardWorker, int, []int, error) {
+func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tariff, width time.Duration) ([]*shardWorker, int, []int, faults.Stats, error) {
 	if cfg.Servers < 1 {
-		return nil, 0, nil, fmt.Errorf("cluster: Servers must be >= 1, got %d", cfg.Servers)
+		return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: Servers must be >= 1, got %d", cfg.Servers)
 	}
 	if cfg.Policy == nil {
-		return nil, 0, nil, fmt.Errorf("cluster: nil Policy factory")
+		return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: nil Policy factory")
 	}
 	if cfg.Kernel.Cores < 1 {
-		return nil, 0, nil, fmt.Errorf("cluster: Kernel.Cores must be >= 1, got %d", cfg.Kernel.Cores)
+		return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: Kernel.Cores must be >= 1, got %d", cfg.Kernel.Cores)
 	}
 	if src == nil {
-		return nil, 0, nil, fmt.Errorf("cluster: nil workload source")
+		return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: nil workload source")
 	}
 	if cfg.Dispatch == "" {
 		cfg.Dispatch = DispatchLeastLoaded
@@ -299,7 +336,10 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 		cfg.Seed = 1
 	}
 	if cfg.Window < 0 {
-		return nil, 0, nil, fmt.Errorf("cluster: negative look-ahead window %v", cfg.Window)
+		return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: negative look-ahead window %v", cfg.Window)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, 0, nil, faults.Stats{}, err
 	}
 	chunk := cfg.Window
 	if chunk == 0 {
@@ -307,7 +347,7 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 	}
 	shards, _, err := shardPlan(cfg.Servers, cfg.Shards, cfg.Workers)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, faults.Stats{}, err
 	}
 
 	// Policies are built sequentially up front so factories need not be
@@ -315,7 +355,7 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 	policies := make([]ghost.Policy, cfg.Servers)
 	for s := range policies {
 		if policies[s] = cfg.Policy(); policies[s] == nil {
-			return nil, 0, nil, fmt.Errorf("cluster: Policy factory returned nil for server %d", s)
+			return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: Policy factory returned nil for server %d", s)
 		}
 	}
 
@@ -338,7 +378,7 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 		}
 		if !exact {
 			if w.acc, err = metrics.NewWindowedAccumulator(tariff, width); err != nil {
-				return nil, 0, nil, err
+				return nil, 0, nil, faults.Stats{}, err
 			}
 		}
 		for s := rg[0]; s < rg[1]; s++ {
@@ -365,7 +405,7 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 	disp, err := NewDispatcher(cfg.Dispatch, cfg.Seed, model)
 	if err != nil {
 		closeAll()
-		return nil, 0, nil, err
+		return nil, 0, nil, faults.Stats{}, err
 	}
 	var pools *WarmPools
 	if cfg.ColdStart.Enabled() {
@@ -378,6 +418,7 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 	for s := range candidates {
 		candidates[s] = s
 	}
+	rf := newRouteFaults(cfg.Faults, cfg.Servers, model, pools, cfg.Obs.Tracer())
 
 	// Router-side observation: watermark/cold-start tallies and progress
 	// live on this single goroutine, so they are shard-count invariant
@@ -420,19 +461,32 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 			}
 			nextMark += chunk
 		}
-		s := disp.Pick(inv, candidates)
+		cand := candidates
+		if rf != nil {
+			cand = rf.route(inv.Arrival)
+		}
+		var s int
+		if rf != nil && len(cand) == 0 {
+			s = rf.fallback()
+		} else {
+			s = disp.Pick(inv, cand)
+		}
 		if s < 0 || s >= cfg.Servers {
 			routeErr = fmt.Errorf("cluster: dispatch %q picked server %d of %d", cfg.Dispatch, s, cfg.Servers)
 			return false
 		}
+		var slow time.Duration
+		if rf != nil {
+			slow = rf.slow(s, inv.Arrival, inv.Duration)
+		}
 		var cold time.Duration
 		if pools == nil {
-			model.Assign(s, inv)
+			model.AssignDemand(s, inv.Arrival, inv.Duration+slow)
 		} else {
 			if pools.IsCold(s, inv, inv.Arrival) {
 				cold = cfg.ColdStart.Latency
 			}
-			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold)
+			finish := model.AssignDemand(s, inv.Arrival, inv.Duration+cold+slow)
 			pools.Book(s, inv, inv.Arrival, finish, cold > 0)
 			if cold > 0 {
 				if coldMisses != nil {
@@ -445,7 +499,7 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 		if exact {
 			assignment = append(assignment, s)
 		}
-		workers[serverShard[s]].ch <- shardMsg{r: Routed{Inv: inv, Idx: idx, ColdStart: cold}, server: s}
+		workers[serverShard[s]].ch <- shardMsg{r: Routed{Inv: inv, Idx: idx, ColdStart: cold, Slow: slow}, server: s}
 		idx++
 		if pg != nil {
 			pg.Routed.Add(1)
@@ -454,15 +508,19 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 	})
 	closeAll()
 	if routeErr != nil {
-		return nil, 0, nil, routeErr
+		return nil, 0, nil, faults.Stats{}, routeErr
 	}
 	if idx == 0 {
-		return nil, 0, nil, fmt.Errorf("cluster: empty workload")
+		return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: empty workload")
 	}
 	for _, w := range workers {
 		if w.err != nil {
-			return nil, 0, nil, fmt.Errorf("cluster: shard %d (servers %d-%d): %w", w.shard, w.lo, w.hi-1, w.err)
+			return nil, 0, nil, faults.Stats{}, fmt.Errorf("cluster: shard %d (servers %d-%d): %w", w.shard, w.lo, w.hi-1, w.err)
 		}
+	}
+	var rfStats faults.Stats
+	if rf != nil {
+		rfStats = rf.stats()
 	}
 	if reg := cfg.Obs.Registry(); reg != nil {
 		regs := make([]*obs.Registry, len(workers))
@@ -471,6 +529,10 @@ func runSharded(cfg Config, src workload.Source, exact bool, tariff pricing.Tari
 		}
 		reg.Merge(obs.MergeRegistryTree(regs))
 		reg.Counter(obs.CInvocations).Add(int64(idx))
+		if rf != nil {
+			reg.Counter(obs.CFaultCrashes).Add(rfStats.Crashes)
+			reg.Counter(obs.CFaultStragglers).Add(rfStats.StragglerWindows)
+		}
 	}
-	return workers, idx, assignment, nil
+	return workers, idx, assignment, rfStats, nil
 }

@@ -196,6 +196,7 @@ type Hybrid struct {
 var (
 	_ ghost.Policy        = (*Hybrid)(nil)
 	_ ghost.HorizonTicker = (*Hybrid)(nil)
+	_ ghost.TaskEvictor   = (*Hybrid)(nil)
 )
 
 // New returns a hybrid scheduler. Call Config.Validate against the target
@@ -277,6 +278,28 @@ func (h *Hybrid) OnMessage(m ghost.Message) {
 		}
 		delete(h.groups, m.Task.ID)
 	}
+}
+
+// EvictTask implements ghost.TaskEvictor: the owning engine dequeues or
+// preempts t, and the group entry is dropped. The killed task does NOT
+// feed the adaptive-limit window — recordCompletion sees real
+// completions only, so fault-injected kills cannot skew the limit.
+func (h *Hybrid) EvictTask(t *simkern.Task) bool {
+	g, ok := h.groups[t.ID]
+	if !ok {
+		return false
+	}
+	var evicted bool
+	switch g {
+	case groupCFS:
+		evicted = h.cfsEng.Evict(t)
+	default:
+		evicted = h.fifoEng.Evict(t)
+	}
+	if evicted {
+		delete(h.groups, t.ID)
+	}
+	return evicted
 }
 
 // isAuxThread reports whether t is microVM housekeeping rather than

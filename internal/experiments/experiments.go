@@ -124,6 +124,13 @@ type Env struct {
 	// (the faasbench -coldstart-pool-mb knob). Zero means unbounded.
 	ColdPoolMB int
 
+	// FaultCrashMTBF / FaultTimeout / FaultMaxAttempts override the
+	// ext-faults sweep's fault plan (the faasbench -fault-* knobs). Zero
+	// means the experiment defaults (45 s MTBF, 20 s timeout, 3 attempts).
+	FaultCrashMTBF   time.Duration
+	FaultTimeout     time.Duration
+	FaultMaxAttempts int
+
 	// SweepWorkers bounds the parallel sweep runner's worker pool (the
 	// faasbench -sweep-workers knob): grid experiments fan independent
 	// cells across this many goroutines and collate results in cell-index

@@ -118,8 +118,8 @@ func TestRegistryCoversEveryMeasurementFigure(t *testing.T) {
 		"fig20", "fig21", "fig22", "fig23", "table1",
 		"ablation-cachepenalty", "ablation-mingran", "ablation-msglatency",
 		"ablation-switchcost", "ext-autoscale", "ext-cluster-dispatch",
-		"ext-coldstart", "ext-diurnal", "ext-fullscale", "ext-vmthreads",
-		"table1i",
+		"ext-coldstart", "ext-diurnal", "ext-faults", "ext-fullscale",
+		"ext-vmthreads", "table1i",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -42,6 +42,7 @@ var registry = map[string]Runner{
 	"ext-vmthreads":         ExtVMThreads,
 	"ext-cluster-dispatch":  ExtClusterDispatch,
 	"ext-coldstart":         ExtColdStart,
+	"ext-faults":            ExtFaults,
 	"ext-fullscale":         ExtFullScale,
 	"ext-diurnal":           ExtDiurnal,
 	"ext-autoscale":         ExtAutoscale,

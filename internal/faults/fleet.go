@@ -1,0 +1,181 @@
+package faults
+
+import "time"
+
+// Fleet is the routing layer's view of the fault plan: which servers are
+// inside a crash outage (ineligible for dispatch), when the next
+// transition lands, and what straggler surcharge routed work pays. Every
+// per-server timeline comes from the same seeded Schedule the server's
+// Machine derives, so router and machine agree without communicating —
+// which is what lets the sharded replay route identically to the flat
+// dataflow.
+//
+// Transitions are applied by Advance, which callers invoke with each
+// arrival instant (arrivals are non-decreasing, so this is a merge, not a
+// scan). Not safe for concurrent use; the router owns it.
+type Fleet struct {
+	cfg    Config
+	scheds []*Schedule
+	down   []bool
+	until  []time.Duration // recovery instant while down
+	events fleetHeap
+	stats  Stats
+}
+
+// fleetEvent is one pending transition.
+type fleetEvent struct {
+	at     time.Duration
+	server int32
+	kind   int8
+}
+
+// Transition kinds, in same-instant application order.
+const (
+	evCrash int8 = iota
+	evRecover
+	evStraggle
+)
+
+// fleetHeap is a binary min-heap of transitions ordered by
+// (at, kind, server) — a total order, so application order is
+// deterministic.
+type fleetHeap []fleetEvent
+
+func (h fleetHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.server < b.server
+}
+
+func (h *fleetHeap) push(e fleetEvent) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *fleetHeap) pop() fleetEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return top
+}
+
+// NewFleet materializes the routing view for a fixed fleet of servers.
+func NewFleet(cfg Config, servers int) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:    cfg,
+		scheds: make([]*Schedule, servers),
+		down:   make([]bool, servers),
+		until:  make([]time.Duration, servers),
+	}
+	for s := 0; s < servers; s++ {
+		f.scheds[s] = NewSchedule(cfg, s)
+		if cfg.CrashMTBF > 0 {
+			if at, ok := f.scheds[s].NextCrash(0); ok {
+				f.events.push(fleetEvent{at: at, server: int32(s), kind: evCrash})
+			}
+		}
+		if cfg.StragglerMTBF > 0 {
+			if at, ok := f.scheds[s].NextStraggler(0); ok {
+				f.events.push(fleetEvent{at: at, server: int32(s), kind: evStraggle})
+			}
+		}
+	}
+	return f
+}
+
+// Advance applies every transition due at or before now. onDown fires
+// when a server enters an outage (mark ineligible, drop warm state),
+// onUp when it recovers; either may be nil. Allocation-free once the
+// heap has reached steady capacity.
+func (f *Fleet) Advance(now time.Duration, onDown, onUp func(server int)) {
+	for len(f.events) > 0 && f.events[0].at <= now {
+		e := f.events.pop()
+		s := int(e.server)
+		switch e.kind {
+		case evCrash:
+			until, _ := f.scheds[s].DownAt(e.at)
+			f.down[s] = true
+			f.until[s] = until
+			f.stats.Crashes++
+			if onDown != nil {
+				onDown(s)
+			}
+			f.events.push(fleetEvent{at: until, server: e.server, kind: evRecover})
+		case evRecover:
+			f.down[s] = false
+			if onUp != nil {
+				onUp(s)
+			}
+			if at, ok := f.scheds[s].NextCrash(e.at); ok {
+				f.events.push(fleetEvent{at: at, server: e.server, kind: evCrash})
+			}
+		case evStraggle:
+			f.stats.StragglerWindows++
+			if at, ok := f.scheds[s].NextStraggler(e.at); ok {
+				f.events.push(fleetEvent{at: at, server: e.server, kind: evStraggle})
+			}
+		}
+	}
+}
+
+// Down reports whether server s is inside an outage (as of the last
+// Advance).
+func (f *Fleet) Down(s int) bool { return f.down[s] }
+
+// SoonestUp returns the down server that recovers first (ties to the
+// lowest index), for the all-servers-down routing fallback. Returns -1
+// when no server is down.
+func (f *Fleet) SoonestUp() int {
+	best := -1
+	for s := range f.down {
+		if !f.down[s] {
+			continue
+		}
+		if best < 0 || f.until[s] < f.until[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// SlowExtra is the straggler surcharge for work of pristine duration
+// base starting at t on server s.
+func (f *Fleet) SlowExtra(s int, t, base time.Duration) time.Duration {
+	return f.scheds[s].SlowExtra(t, base)
+}
+
+// Stats returns router-side fault counters (crashes and straggler
+// windows entered so far).
+func (f *Fleet) Stats() Stats { return f.stats }

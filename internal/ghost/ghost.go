@@ -84,15 +84,29 @@ type Ticker interface {
 //
 // NextDecision may be conservative (early) — an early tick is a no-op that
 // recomputes — but must never be late: any instant at which OnTick would
-// act must be covered. Policies using Env.AbortTask must not implement
-// HorizonTicker (aborts retire work without a TASK_DEAD; the Firecracker
-// fleet wrapper deliberately forwards only Ticker).
+// act must be covered. A layer that retires work through Env.AbortTask
+// (no TASK_DEAD fires) must either not implement HorizonTicker (the
+// Firecracker fleet wrapper deliberately forwards only Ticker) or call
+// Env.InvalidateHorizon after every abort so the pump re-evaluates — the
+// fault-injection wrapper follows the second discipline.
 type HorizonTicker interface {
 	Ticker
 	// NextDecision returns the earliest instant >= now at which OnTick
 	// could act given current state, or ok=false when no tick is needed
 	// until further notice.
 	NextDecision(now time.Duration) (deadline time.Duration, ok bool)
+}
+
+// TaskEvictor is an optional Policy capability: remove a specific task
+// from the policy's own bookkeeping — dequeue it if queued, preempt it
+// (via Env.CommitPreempt) if running — and report whether the policy
+// owned it. After a true return the task is Runnable and unreferenced by
+// the policy, so the caller may legally Env.AbortTask it. A false return
+// means the task was not found (typically its completion message is in
+// flight) and the caller must leave it alone. The fault-injection layer
+// requires this capability from any scheduler it kills tasks under.
+type TaskEvictor interface {
+	EvictTask(t *simkern.Task) bool
 }
 
 // Stats counts delegation activity, mirroring the bookkeeping the paper's
@@ -531,9 +545,22 @@ func (v *Env) Outstanding() int { return v.enclave.kernel.Outstanding() }
 // the Firecracker layer uses this for the threads a booted microVM forks).
 func (v *Env) AddTask(t *simkern.Task) error { return v.enclave.kernel.AddTask(t) }
 
-// AbortTask fails an admitted-but-never-run task (microVM launch failure).
-// No TASK_DEAD message is emitted.
+// AbortTask fails an admitted-but-never-run task (microVM launch failure,
+// fault-injected kill after eviction). No TASK_DEAD message is emitted.
 func (v *Env) AbortTask(t *simkern.Task) error { return v.enclave.kernel.AbortTask(t) }
+
+// AdmitTask registers a task through the kernel's lazy-admission path:
+// the arrival orders as if the task had been pre-seeded before the clock
+// started. The fault layer uses it to re-admit retried invocations at
+// their backoff instant; past arrivals are rejected.
+func (v *Env) AdmitTask(t *simkern.Task) error { return v.enclave.kernel.AdmitTask(t) }
+
+// SetFaultTimer schedules fn at absolute time at in the fault ordering
+// class: it fires after every same-instant normal event. Cancellable via
+// CancelTimer. See simkern.Kernel.SetFaultTimer.
+func (v *Env) SetFaultTimer(at time.Duration, fn func()) simkern.TimerID {
+	return v.enclave.kernel.SetFaultTimer(at, fn)
+}
 
 // NoteMigration lets a policy record a core migration in enclave stats.
 func (v *Env) NoteMigration() { v.enclave.stats.Migrations++ }

@@ -35,9 +35,22 @@ type Record struct {
 	// this field breaks it out.
 	ColdStart time.Duration
 	// Failed marks invocations that never ran (e.g. microVM launch
-	// failures when server memory is exhausted, §VI-E). Failed records
-	// carry no timing metrics.
+	// failures when server memory is exhausted, §VI-E) or that the fault
+	// layer gave up on after exhausting retries. Failed records carry no
+	// timing metrics and are excluded from every latency quantile, but
+	// their Wasted CPU is still billed.
 	Failed bool
+	// Attempts counts admissions of this invocation under fault-injected
+	// retries. Zero means "one attempt, fault layer inactive" — records
+	// from fault-free runs are bit-identical to pre-fault ones.
+	Attempts int
+	// GiveUp marks a Failed record whose retry budget was exhausted (or
+	// whose server died for good); always false on completed records.
+	GiveUp bool
+	// Wasted is CPU consumed by killed attempts — billed but discarded
+	// work. Completed records carry the waste of their failed earlier
+	// attempts; give-up records carry the waste of every attempt.
+	Wasted time.Duration
 }
 
 // Execution returns Tcompletion − TfirstRun.
@@ -210,24 +223,86 @@ func (s Set) TotalPreemptions() int {
 }
 
 // Cost bills every completed record's execution time at its own memory
-// size (Table I's "overall cost").
+// size (Table I's "overall cost"), plus every record's Wasted CPU —
+// killed attempts burned billable instance time before being discarded,
+// so failed records participate in cost through their waste even though
+// they never contribute a latency sample. Waste bills compute time only:
+// the per-request charge is levied once per completed invocation, never
+// on the attempts the fault layer discarded.
 func (s Set) Cost(t pricing.Tariff) float64 {
 	total := 0.0
-	for _, r := range s.Completed() {
-		total += t.InvocationCost(r.Execution(), r.MemMB)
+	for _, r := range s.Records {
+		if !r.Failed {
+			total += t.InvocationCost(r.Execution(), r.MemMB)
+		}
+		if r.Wasted > 0 {
+			total += t.ComputeCost(r.Wasted, r.MemMB)
+		}
 	}
 	return total
 }
 
-// CostAtUniformMemory bills every completed record as if all functions had
-// the same memory size — the paper's Figs 1, 20, 22 ("what the cost
-// difference would be if all functions would have the same size").
+// CostAtUniformMemory bills every completed record (and all Wasted CPU)
+// as if all functions had the same memory size — the paper's Figs 1, 20,
+// 22 ("what the cost difference would be if all functions would have the
+// same size").
 func (s Set) CostAtUniformMemory(t pricing.Tariff, memMB int) float64 {
 	total := 0.0
-	for _, r := range s.Completed() {
-		total += t.InvocationCost(r.Execution(), memMB)
+	for _, r := range s.Records {
+		if !r.Failed {
+			total += t.InvocationCost(r.Execution(), memMB)
+		}
+		if r.Wasted > 0 {
+			total += t.ComputeCost(r.Wasted, memMB)
+		}
 	}
 	return total
+}
+
+// Goodput is the fraction of invocations that completed (1 when the set
+// is empty).
+func (s Set) Goodput() float64 {
+	if len(s.Records) == 0 {
+		return 1
+	}
+	return float64(len(s.Records)-s.FailedCount()) / float64(len(s.Records))
+}
+
+// RetryAmplification is admissions per invocation: mean Attempts (a zero
+// Attempts field counts as one attempt). 1.0 means no retries fired.
+func (s Set) RetryAmplification() float64 {
+	if len(s.Records) == 0 {
+		return 1
+	}
+	n := 0
+	for _, r := range s.Records {
+		a := r.Attempts
+		if a < 1 {
+			a = 1
+		}
+		n += a
+	}
+	return float64(n) / float64(len(s.Records))
+}
+
+// WastedCPU sums billed-but-discarded CPU across all records.
+func (s Set) WastedCPU() time.Duration {
+	var sum time.Duration
+	for _, r := range s.Records {
+		sum += r.Wasted
+	}
+	return sum
+}
+
+// GiveUps counts invocations abandoned after exhausting retries.
+func (s Set) GiveUps() int {
+	n := 0
+	for _, r := range s.Records {
+		if r.GiveUp {
+			n++
+		}
+	}
+	return n
 }
 
 // PreemptionsPerCore returns each core's preemption count from the kernel

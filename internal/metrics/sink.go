@@ -54,6 +54,9 @@ type Accumulator struct {
 	cost        float64
 	coldStarts  int           // completed records that paid a cold start
 	coldLatency time.Duration // summed cold-start latency across them
+	attempts    int64         // summed admissions (zero Attempts counts as one)
+	giveUps     int           // failed records abandoned after retries
+	wasted      time.Duration // billed-but-discarded CPU across all records
 }
 
 // NewAccumulator returns an empty accumulator billing at tariff.
@@ -66,11 +69,25 @@ func NewAccumulator(t pricing.Tariff) *Accumulator {
 	return a
 }
 
-// Push implements Sink.
+// Push implements Sink. Failed records contribute no latency sample but
+// their Wasted CPU is billed, mirroring Set.Cost.
 func (a *Accumulator) Push(r Record) {
 	a.preemptions += r.Preemptions
+	if n := r.Attempts; n >= 1 {
+		a.attempts += int64(n)
+	} else {
+		a.attempts++
+	}
+	if r.Wasted > 0 {
+		a.wasted += r.Wasted
+		a.billedMs += pricing.BilledMilliseconds(r.Wasted)
+		a.cost += a.tariff.ComputeCost(r.Wasted, r.MemMB)
+	}
 	if r.Failed {
 		a.failed++
+		if r.GiveUp {
+			a.giveUps++
+		}
 		return
 	}
 	a.completed++
@@ -127,8 +144,33 @@ func (a *Accumulator) WarmHitRatio() float64 {
 }
 
 // Cost is the running tariff join: every completed record billed at its
-// own memory size, same semantics as Set.Cost.
+// own memory size plus all Wasted CPU, same semantics as Set.Cost.
 func (a *Accumulator) Cost() float64 { return a.cost }
+
+// Goodput is the fraction of invocations that completed (1 when empty).
+func (a *Accumulator) Goodput() float64 {
+	n := a.completed + a.failed
+	if n == 0 {
+		return 1
+	}
+	return float64(a.completed) / float64(n)
+}
+
+// RetryAmplification is admissions per invocation (mean Attempts, where
+// a zero field counts as one). 1.0 means no retries fired.
+func (a *Accumulator) RetryAmplification() float64 {
+	n := a.completed + a.failed
+	if n == 0 {
+		return 1
+	}
+	return float64(a.attempts) / float64(n)
+}
+
+// WastedCPU sums billed-but-discarded CPU across all records.
+func (a *Accumulator) WastedCPU() time.Duration { return a.wasted }
+
+// GiveUps counts invocations abandoned after exhausting retries.
+func (a *Accumulator) GiveUps() int { return a.giveUps }
 
 // CostAtUniformMemory rebills every completed record as if all functions
 // had memMB — Set.CostAtUniformMemory's streaming analog, computed from
@@ -183,6 +225,9 @@ func (a *Accumulator) Merge(other *Accumulator) error {
 	a.cost += other.cost
 	a.coldStarts += other.coldStarts
 	a.coldLatency += other.coldLatency
+	a.attempts += other.attempts
+	a.giveUps += other.giveUps
+	a.wasted += other.wasted
 	return nil
 }
 

@@ -35,7 +35,14 @@ const (
 	CScaleReady      = "autoscale.ready"
 	CScaleDrains     = "autoscale.drains"
 	CScaleRetires    = "autoscale.retires"
+	CScaleCrashes    = "autoscale.crashes"
 	GServerSeconds   = "autoscale.server_seconds"
+	CFaultCrashes    = "faults.crashes"
+	CFaultKills      = "faults.kills"
+	CFaultRetries    = "faults.retries"
+	CFaultGiveUps    = "faults.giveups"
+	CFaultStragglers = "faults.straggler_windows"
+	CFcLaunchFails   = "firecracker.launch_failures"
 )
 
 // Counter is a named int64 tally. Not goroutine-safe: a counter belongs

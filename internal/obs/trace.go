@@ -291,6 +291,20 @@ func (t *Tracer) ScaleEvent(kind string, server int, at time.Duration, active in
 	})
 }
 
+// FaultEvent emits a fault-plan instant (kind is crash/recover) on the
+// server's fleet lane. Crash/recover marks come from the single-threaded
+// routing layer, so the stream is identical at any shard count.
+func (t *Tracer) FaultEvent(kind string, server int, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.emit(func(b []byte) []byte {
+		b = appendInstantHead(b, "fault:"+kind, "p", 1, server, at)
+		b = append(b, ",\"cat\":\"faults\"}"...)
+		return b
+	})
+}
+
 // Watermark emits a router watermark-broadcast instant (sharded
 // lockstep replay); routed is the arrivals routed so far. Emitted by
 // the router once per broadcast, so the stream is identical at any

@@ -331,6 +331,37 @@ func (e *Engine) stealInto(rq *runqueue) bool {
 	return true
 }
 
+// Evict removes t from the engine — deleted from its runqueue tree if
+// queued, preempted (and the queue refilled) if running — and reports
+// whether the engine owned it. A false return means t is not here,
+// typically because its completion message is in flight. Implements the
+// engine half of ghost.TaskEvictor. The evicted task's vruntime is not
+// charged: the caller aborts it, so its CFS bookkeeping is dead state.
+func (e *Engine) Evict(t *simkern.Task) bool {
+	d, ok := t.PolicyData.(*taskData)
+	if !ok {
+		return false
+	}
+	rq := e.rq(d.core)
+	if rq == nil {
+		return false
+	}
+	if d.node != nil {
+		rq.tree.Delete(d.node)
+		d.node = nil
+		return true
+	}
+	if rq.curr == t {
+		if _, err := e.env.CommitPreempt(rq.id); err != nil {
+			return false // completion in flight
+		}
+		rq.curr = nil
+		e.pickNext(rq)
+		return true
+	}
+	return false
+}
+
 // TaskDead handles a completion on core c.
 func (e *Engine) TaskDead(t *simkern.Task, c simkern.CoreID) {
 	rq := e.rq(c)
@@ -446,6 +477,7 @@ type Policy struct {
 var (
 	_ ghost.Policy        = (*Policy)(nil)
 	_ ghost.HorizonTicker = (*Policy)(nil)
+	_ ghost.TaskEvictor   = (*Policy)(nil)
 )
 
 // New returns a standalone CFS policy.
@@ -485,3 +517,6 @@ func (p *Policy) OnTick() { p.engine.Tick() }
 func (p *Policy) NextDecision(now time.Duration) (time.Duration, bool) {
 	return p.engine.NextDecision(now)
 }
+
+// EvictTask implements ghost.TaskEvictor.
+func (p *Policy) EvictTask(t *simkern.Task) bool { return p.engine.Evict(t) }

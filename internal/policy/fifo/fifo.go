@@ -115,6 +115,38 @@ func (e *Engine) Dispatch() {
 	}
 }
 
+// Evict removes t from the engine — dequeued if queued (preserving the
+// order of the rest), preempted if running on a group core — and reports
+// whether the engine owned it. A false return means t is not here,
+// typically because its completion message is in flight; the caller must
+// then leave it alone. Implements the engine half of ghost.TaskEvictor.
+func (e *Engine) Evict(t *simkern.Task) bool {
+	n := e.q.Len()
+	found := false
+	for i := 0; i < n; i++ {
+		x, _ := e.q.PopFront()
+		if x == t {
+			found = true
+			continue
+		}
+		e.q.PushBack(x)
+	}
+	if found {
+		return true
+	}
+	for _, c := range e.cores {
+		if e.env.RunningTask(c) != t {
+			continue
+		}
+		if _, err := e.env.CommitPreempt(c); err != nil {
+			return false // completion in flight
+		}
+		e.Dispatch()
+		return true
+	}
+	return false
+}
+
 // Tick enforces the quantum: any task whose current run segment exceeds it
 // is preempted and moved to the end of the global queue.
 func (e *Engine) Tick() {
@@ -190,6 +222,7 @@ var (
 	_ ghost.Policy        = (*Policy)(nil)
 	_ ghost.Ticker        = (*Policy)(nil)
 	_ ghost.HorizonTicker = (*Policy)(nil)
+	_ ghost.TaskEvictor   = (*Policy)(nil)
 )
 
 // New returns a standalone FIFO policy.
@@ -245,3 +278,6 @@ func (p *Policy) OnTick() { p.engine.Tick() }
 func (p *Policy) NextDecision(now time.Duration) (time.Duration, bool) {
 	return p.engine.NextDecision(now)
 }
+
+// EvictTask implements ghost.TaskEvictor.
+func (p *Policy) EvictTask(t *simkern.Task) bool { return p.engine.Evict(t) }

@@ -33,6 +33,15 @@ const (
 const (
 	classAdmit uint8 = iota // lazily admitted arrivals: order as if pre-seeded
 	classRun                // all other events: plain (time, seq)
+	// classFault orders after every same-instant classRun event: fault
+	// timers (crash sweeps, invocation timeouts) must observe the world
+	// AFTER normal completions and ticks at the same instant, so a task
+	// finishing exactly at a crash instant counts as completed, not killed
+	// — and the tie resolves identically whatever the relative sequence
+	// numbers are, which differ between the flat and sharded dataflows.
+	// With no fault timers scheduled the class is never used, which is why
+	// the committed golden digests stay valid.
+	classFault
 )
 
 // event is one scheduled occurrence in the simulation. Events are ordered

@@ -426,6 +426,25 @@ func (k *Kernel) SetTimer(at time.Duration, fn func()) TimerID {
 	return id
 }
 
+// SetFaultTimer is SetTimer with the fault ordering class: the callback
+// fires after every same-instant normal event (completions, ticks,
+// deliveries), whatever order the events were scheduled in. The fault
+// layer uses it for crash sweeps and invocation timeouts, where the
+// after-everything-else slot makes same-instant ties deterministic
+// across dataflows. The returned id works with CancelTimer.
+func (k *Kernel) SetFaultTimer(at time.Duration, fn func()) TimerID {
+	if at < k.now {
+		at = k.now
+	}
+	k.nextTimerID++
+	id := k.nextTimerID
+	ev := k.loop.scheduleClass(at, evTimer, classFault)
+	ev.fn = fn
+	ev.id = id
+	k.timers[id] = ev
+	return id
+}
+
 // EventSeq returns the sequence number of the most recently scheduled
 // event. The delegation layer compares snapshots of it to prove that no
 // event was scheduled between two message emissions, which is the

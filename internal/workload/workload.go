@@ -42,6 +42,12 @@ type Invocation struct {
 	// unassigned, and consumers fall back to the (FibN, MemMB) bucket as
 	// the function identity.
 	FuncID int
+	// TimeoutMS is this invocation's deadline in milliseconds, measured
+	// from each attempt's (re-)admission; past it the fault layer kills
+	// and retries the attempt. Zero falls back to the fleet-wide default
+	// in faults.Config (and means "no timeout" when that is zero too).
+	// Programmatic only: the workload-file format does not carry it.
+	TimeoutMS int
 }
 
 // Builder derives invocation lists from traces.

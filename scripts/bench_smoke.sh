@@ -12,7 +12,9 @@
 # Gate 2 — sharded-fleet regression (DESIGN.md §11): reruns the small
 # sharded-replay and sweep-runner benchmarks plus the per-arrival
 # dispatch-pick micro-benchmark (DESIGN.md §12 — the load index must
-# keep picks flat in fleet size) and diffs their ns/op against the
+# keep picks flat in fleet size) and the fault-injected replay
+# (DESIGN.md §14 — crash sweeps, timeouts, and retry re-admission must
+# stay off the simulator's hot paths) and diffs their ns/op against the
 # committed BENCH_baseline.json via benchfmt -diff, failing on any
 # regression beyond MAXPCT percent. The 24 h ×10 replays are excluded
 # here — their baseline rows show up in the diff as "only in old
@@ -88,6 +90,7 @@ trap 'rm -f "$tmp"' EXIT
 {
   go test -run '^$' -bench 'BenchmarkShardedFleetReplay/100servers_x1_2h$' -benchtime 3x -timeout 20m .
   go test -run '^$' -bench 'BenchmarkSweepRunner$' -benchtime 3x -timeout 20m .
+  go test -run '^$' -bench 'BenchmarkFaultyReplay$' -benchtime 3x -timeout 20m .
   printf '%s\n' "$dispatch"
 } | go run ./cmd/benchfmt > "$tmp"
 
@@ -97,7 +100,7 @@ trap 'rm -f "$tmp"' EXIT
 # Headers for benchmarks present on only one side carry no metric lines.
 go run ./cmd/benchfmt -diff BENCH_baseline.json "$tmp" | awk -v max="$MAXPCT" '
   /^[^ ]/ { bench = $1 }
-  $1 == "ns/op" && bench ~ /^Benchmark(ShardedFleetReplay|SweepRunner|DispatchPick)/ {
+  $1 == "ns/op" && bench ~ /^Benchmark(ShardedFleetReplay|SweepRunner|DispatchPick|FaultyReplay)/ {
     pct = $NF
     gsub(/[()%+]/, "", pct)
     # Sub-µs DispatchPick rows see ±30% scheduler-steal noise even at a

@@ -69,6 +69,23 @@ func TestShardedMergeMatchesFlat(t *testing.T) {
 					Seed: 1, Streamed: streamed, Shards: shards, Workers: 2,
 				})
 		}
+		// The fault seam threaded with an empty plan (Instrument: true —
+		// machines, routing hooks, and the forced streamed dataflow all
+		// live) must leave every sharded digest untouched (DESIGN.md §14).
+		for _, d := range Dispatches() {
+			check("cluster/hybrid/"+string(d),
+				fmt.Sprintf("instrumented/hybrid/%s/shards=%d", d, shards),
+				ClusterOptions{
+					Servers: 3, CoresPerServer: 4, Dispatch: d, Scheduler: SchedulerHybrid,
+					Seed: 1, Faults: FaultOptions{Instrument: true}, Shards: shards, Workers: 2,
+				})
+		}
+		check("cluster/cfs/least-loaded",
+			fmt.Sprintf("instrumented/cfs/least-loaded/shards=%d", shards),
+			ClusterOptions{
+				Servers: 3, CoresPerServer: 4, Dispatch: DispatchLeastLoaded, Scheduler: SchedulerCFS,
+				Seed: 1, Faults: FaultOptions{Instrument: true}, Shards: shards, Workers: 2,
+			})
 	}
 }
 
